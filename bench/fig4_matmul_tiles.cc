@@ -1,0 +1,77 @@
+// Figure 4: performance of matrix multiplication kernels across tile sizes,
+// with and without complete unrolling of the inner dot-product loop.
+//
+// Paper shape to reproduce (4096x4096):
+//   - 4x4 tiles perform WORSE than the untiled kernel (16-thread blocks,
+//     half of each warp's issue slots wasted, 8-block limit => 128
+//     threads/SM);
+//   - performance rises with tile size; 16x16 is best (max threads, natural
+//     coalescing);
+//   - unrolling helps the 16x16 configuration dramatically (46.49 -> 91.14
+//     GFLOPS) and other tile sizes only marginally;
+//   - 12x12 tiles need padded arrays (4104 here) and waste warp slots.
+#include <iostream>
+
+#include "apps/matmul/matmul.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "core/autotuner.h"
+#include "cudalite/device.h"
+
+using namespace g80;
+using namespace g80::apps;
+
+int main() {
+  Device dev;
+  const int base_n = 4096;
+
+  // One shared allocation big enough for the padded 12x12 case.
+  const int max_n = 4104;
+  auto da = dev.alloc<float>(static_cast<std::size_t>(max_n) * max_n);
+  auto db = dev.alloc<float>(static_cast<std::size_t>(max_n) * max_n);
+  auto dc = dev.alloc<float>(static_cast<std::size_t>(max_n) * max_n);
+
+  const auto padded = [&](int tile) {
+    return (base_n + tile - 1) / tile * tile;  // 4096 or 4104
+  };
+
+  std::cout << "Figure 4: matrix multiplication GFLOPS by tile size, "
+            << base_n << "x" << base_n << " (12x12 padded to 4104)\n\n";
+
+  TextTable t({"configuration", "tiled only", "tiled & unrolled", "threads/blk",
+               "blocks/SM", "threads/SM"});
+
+  // Untiled row: the "tiled only" column is the naive kernel, the unrolled
+  // column its unrolled sibling.
+  {
+    const auto plain = run_matmul(dev, {MatmulVariant::kNaive, 16}, base_n, da,
+                                  db, dc, false);
+    const auto unrolled = run_matmul(dev, {MatmulVariant::kNaiveUnrolled, 16},
+                                     base_n, da, db, dc, false);
+    t.add_row({"not tiled", fixed(plain.timing.gflops, 2),
+               fixed(unrolled.timing.gflops, 2), cat(plain.block.count()),
+               cat(plain.occupancy.blocks_per_sm),
+               cat(plain.occupancy.active_threads_per_sm)});
+  }
+
+  for (int tile : {4, 8, 12, 16}) {
+    const int n = padded(tile);
+    const auto tiled =
+        run_matmul(dev, {MatmulVariant::kTiled, tile}, n, da, db, dc, false);
+    const auto unrolled = run_matmul(dev, {MatmulVariant::kTiledUnrolled, tile},
+                                     n, da, db, dc, false);
+    t.add_row({cat(tile, "x", tile, " tiles"), fixed(tiled.timing.gflops, 2),
+               fixed(unrolled.timing.gflops, 2), cat(tiled.block.count()),
+               cat(tiled.occupancy.blocks_per_sm),
+               cat(tiled.occupancy.active_threads_per_sm)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper reference points: not tiled 10.58; 16x16 tiled 46.49; "
+               "16x16 tiled & unrolled 91.14 GFLOPS;\n4x4 tiles slightly "
+               "below the untiled kernel (our model lands both near 10 "
+               "GFLOPS\nwith the ordering inverted by ~13% — see "
+               "EXPERIMENTS.md); unrolling other tile\nsizes only marginally "
+               "better (§4.2-4.3)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 5: LBM global load access patterns.
+//
+// The paper's figure contrasts the LBM kernel's global loads before and
+// after reorganizing for coalescing.  We quantify all three layouts:
+//   AoS          f[cell][q]    every distribution load strides 19 words
+//   SoA direct   f[q][cell]    unit stride, but x-shifted pulls misalign
+//                              the half-warp base address (10 of 19 loads)
+//   SoA staged   f[q][cell] with x-rows staged through shared memory so
+//                              every global load is a full aligned 16-word
+//                              line (the paper's final configuration)
+//
+// Columns: fraction of warp loads fully coalesced, DRAM transactions per
+// warp-level memory instruction, overfetch (DRAM bytes / useful bytes),
+// modeled time per step and bottleneck.  All three layouts are validated
+// against the CPU reference before timing.
+#include <iostream>
+
+#include "apps/lbm/lbm.h"
+#include "common/error.h"
+#include "common/stats.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "cudalite/device.h"
+
+using namespace g80;
+using namespace g80::apps;
+
+int main() {
+  LbmParams p;
+  p.nx = 128;
+  p.ny = 8;
+  p.nz = 8;
+  p.steps = 2;
+  const auto w = LbmWorkload::generate(p);
+
+  // CPU reference for functional validation.
+  std::vector<float> f_ref = w.f0, f_tmp;
+  lbm_cpu(p, f_ref, f_tmp);
+
+  std::cout << "Figure 5: LBM global load access patterns (" << p.nx << "x"
+            << p.ny << "x" << p.nz << " lattice, D3Q19)\n\n";
+
+  TextTable t({"layout", "coalesced %", "txn/mem-inst", "overfetch",
+               "DRAM GB/s", "ms/step", "bottleneck", "validated"});
+
+  struct Row {
+    const char* name;
+    LbmLayout layout;
+  };
+  for (const Row& row : {Row{"AoS f[cell][q]", LbmLayout::kAoS},
+                         Row{"SoA f[q][cell], direct", LbmLayout::kSoA},
+                         Row{"SoA + shared-staged x rows", LbmLayout::kSoAStaged}}) {
+    Device dev;
+    std::vector<float> f_gpu;
+    int launches = 0;
+    const auto stats = lbm_gpu(dev, p, row.layout, w.f0, f_gpu, &launches);
+
+    double err = 0;
+    for (std::size_t i = 0; i < f_ref.size(); ++i)
+      err = std::max(err, rel_err(f_gpu[i], f_ref[i], 1e-3));
+
+    const auto& tr = stats.trace;
+    const double overfetch =
+        tr.total.useful_global_bytes > 0
+            ? static_cast<double>(tr.total.global.bytes) /
+                  static_cast<double>(tr.total.useful_global_bytes)
+            : 1.0;
+    t.add_row({
+        row.name,
+        fixed(100 * tr.coalesced_fraction(), 1),
+        fixed(tr.transactions_per_mem_inst(), 2),
+        fixed(overfetch, 2),
+        fixed(stats.timing.dram_gbs, 1),
+        fixed(stats.timing.seconds * 1e3, 3),
+        std::string(bottleneck_name(stats.timing.bottleneck)),
+        err < 1e-4 ? "yes" : "NO",
+    });
+  }
+  t.print(std::cout);
+  std::cout << "\npaper shape: the uncoalesced layouts fragment their DRAM "
+               "requests (one transaction\nper address); staging through "
+               "shared memory restores full 16-word lines (§5.2,\nFigure 5). "
+               "At LBM's one-block-per-SM occupancy both SoA variants remain\n"
+               "latency-bound, which is why the paper's LBM sits in the "
+               "modest-speedup group.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Occupancy-calculator sweep: the resource-balance design space the paper's
+// principle 2 describes in prose ("an incremental increase in the usage of
+// registers or shared memory per thread can result in a substantial
+// decrease in the number of threads that can be simultaneously executed").
+#include <iostream>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "occupancy/occupancy.h"
+
+using namespace g80;
+
+int main() {
+  const auto spec = DeviceSpec::geforce_8800_gtx();
+
+  std::cout << "Occupancy (active threads/SM out of "
+            << spec.max_threads_per_sm
+            << ") as registers/thread and block size vary, no shared "
+               "memory:\n\n";
+  {
+    TextTable t({"block size", "8 regs", "10 regs", "11 regs", "12 regs",
+                 "16 regs", "20 regs", "32 regs"});
+    for (int threads : {64, 128, 192, 256, 384, 512}) {
+      std::vector<std::string> row{cat(threads)};
+      for (int regs : {8, 10, 11, 12, 16, 20, 32}) {
+        if (static_cast<long long>(regs) * threads > spec.registers_per_sm) {
+          row.push_back("-");
+          continue;
+        }
+        const auto occ = compute_occupancy(spec, {regs, 0, threads});
+        row.push_back(cat(occ.active_threads_per_sm));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nOccupancy as shared memory/block grows (256-thread blocks, "
+               "10 regs):\n\n";
+  {
+    TextTable t({"smem/block", "blocks/SM", "threads/SM", "limiter"});
+    for (std::size_t kb : {1, 2, 3, 4, 5, 6, 8, 9, 12, 16}) {
+      const auto occ =
+          compute_occupancy(spec, {10, kb * 1024, 256});
+      t.add_row({cat(kb, " KB"), cat(occ.blocks_per_sm),
+                 cat(occ.active_threads_per_sm),
+                 std::string(occupancy_limit_name(occ.limiter))});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nnote the cliffs at 10->11 registers (3->2 blocks of 256) "
+               "and 5->6 KB shared memory —\nthe §4 matmul story in table "
+               "form\n";
+  return 0;
+}

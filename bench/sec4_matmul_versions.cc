@@ -1,0 +1,71 @@
+// Reproduces the §4 matrix-multiplication optimization walk at the paper's
+// 4096x4096 size (timing from sampled blocks; functional equivalence is
+// covered by tests/matmul_test.cc at smaller sizes).
+//
+// Paper reference points (GeForce 8800 GTX, CUDA 0.8):
+//   §4.1 naive                     10.58 GFLOPS  (global-bandwidth bound)
+//   §4.2 16x16 tiled               46.49 GFLOPS  (~4.5x the naive version)
+//   §4.3 16x16 tiled + unrolled    91.14 GFLOPS  (potential 93.72)
+//   §4.4 + prefetch (11 regs)      87.10 GFLOPS  (one fewer block/SM, -5%)
+#include <iostream>
+
+#include "apps/matmul/matmul.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "core/advisor.h"
+#include "cudalite/device.h"
+
+using namespace g80;
+using namespace g80::apps;
+
+int main() {
+  Device dev;
+  const int n = 4096;
+
+  auto da = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+  auto db = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+  auto dc = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+
+  struct Row {
+    MatmulConfig cfg;
+    double paper_gflops;  // value stated in the paper text, 0 if not stated
+  };
+  const Row rows[] = {
+      {{MatmulVariant::kNaive, 16}, 10.58},
+      {{MatmulVariant::kTiled, 16}, 46.49},
+      {{MatmulVariant::kTiledUnrolled, 16}, 91.14},
+      {{MatmulVariant::kPrefetch, 16}, 87.10},
+  };
+
+  std::cout << "Section 4: matrix multiplication versions, " << n << "x" << n
+            << " on simulated " << dev.spec().name << "\n"
+            << "peak MAD throughput: " << fixed(dev.spec().peak_mad_gflops(), 1)
+            << " GFLOPS, DRAM: " << fixed(dev.spec().dram_bandwidth_gbs, 1)
+            << " GB/s\n\n";
+
+  TextTable t({"version", "GFLOPS (model)", "GFLOPS (paper)", "potential",
+               "blocks/SM", "regs", "fmad mix %", "DRAM GB/s", "bottleneck"});
+  for (const auto& row : rows) {
+    const auto stats =
+        run_matmul(dev, row.cfg, n, da, db, dc, /*functional=*/false);
+    t.add_row({
+        row.cfg.name(),
+        fixed(stats.timing.gflops, 2),
+        row.paper_gflops > 0 ? fixed(row.paper_gflops, 2) : "-",
+        fixed(potential_gflops(dev.spec(), stats.trace), 2),
+        cat(stats.occupancy.blocks_per_sm),
+        cat(stats.regs_per_thread),
+        fixed(100 * stats.trace.fmad_fraction(), 1),
+        fixed(stats.timing.dram_gbs, 1),
+        std::string(bottleneck_name(stats.timing.bottleneck)),
+    });
+  }
+  t.print(std::cout);
+
+  // The advisor's view of the naive kernel (the §4.1 diagnosis).
+  const auto naive = run_matmul(dev, {MatmulVariant::kNaive, 16}, n, da, db,
+                                dc, /*functional=*/false);
+  std::cout << "\nAdvisor on the naive kernel:\n"
+            << format_advice(advise(dev.spec(), naive));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 1: properties of the GeForce 8800's memory spaces, printed from the
+// model's constants so any drift between the paper's numbers and the
+// simulator is immediately visible.
+#include <iostream>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "hw/device_spec.h"
+
+using namespace g80;
+
+int main() {
+  const auto spec = DeviceSpec::geforce_8800_gtx();
+
+  std::cout << "Table 1: memory spaces of the " << spec.name << " (model "
+            << "constants)\n\n";
+
+  TextTable t({"memory", "location", "size", "latency (cycles)", "read-only",
+               "scope"});
+  t.add_row({"global", "off-chip", human_bytes(static_cast<double>(spec.global_mem_bytes)),
+             fixed(spec.global_latency_cycles, 0), "no", "grid"});
+  t.add_row({"shared", "on-chip", cat(human_bytes(static_cast<double>(spec.shared_mem_per_sm)), "/SM"),
+             fixed(spec.shared_latency_cycles, 0), "no", "thread block"});
+  t.add_row({"constant", "off-chip, cached",
+             cat(human_bytes(64.0 * 1024), " total, ",
+                 human_bytes(static_cast<double>(spec.constant_cache_bytes)), "/SM cache"),
+             "~reg speed on broadcast hit", "yes", "grid"});
+  t.add_row({"texture", "off-chip, cached",
+             cat(human_bytes(static_cast<double>(spec.texture_cache_bytes)), "/SM cache"),
+             fixed(spec.texture_hit_latency_cycles, 0), "yes", "grid"});
+  t.add_row({"local (register spill)", "off-chip", "per thread",
+             fixed(spec.global_latency_cycles, 0), "no", "thread"});
+  t.add_row({"registers", "on-chip", cat(spec.registers_per_sm, " x 32-bit/SM"),
+             "0", "no", "thread"});
+  t.print(std::cout);
+
+  std::cout << "\nexecution resources: " << spec.num_sms << " SMs x "
+            << spec.sps_per_sm << " SPs @ " << spec.core_clock_ghz
+            << " GHz; peak " << fixed(spec.peak_mad_gflops(), 1)
+            << " GFLOPS (MAD), " << fixed(spec.peak_gflops_with_sfu(), 1)
+            << " GFLOPS (with SFU); DRAM "
+            << fixed(spec.dram_bandwidth_gbs, 1) << " GB/s; "
+            << spec.max_threads_per_sm << " threads / "
+            << spec.max_blocks_per_sm << " blocks per SM\n";
+  return 0;
+}

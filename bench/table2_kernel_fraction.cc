@@ -1,0 +1,46 @@
+// Table 2 analogue: per application, the percentage of single-thread CPU
+// execution time spent in the data-parallel kernel phase, and the total
+// application speedup that Amdahl's Law therefore permits.
+//
+// The paper's example: FDTD's kernel takes only 16.4% of execution time,
+// limiting potential application speedup to 1.2X.  Our percentages are
+// properties of our reimplementations (synthetic workloads, self-contained
+// serial phases) and differ numerically from the authors' original codes;
+// the qualitative split — simulators with heavy serial phases vs
+// kernel-dominated numerical codes — is what carries over.
+#include <iostream>
+
+#include "apps/suite.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "hw/device_spec.h"
+
+using namespace g80;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const auto spec = DeviceSpec::geforce_8800_gtx();
+  const auto scale = quick ? RunScale::kQuick : RunScale::kFull;
+
+  std::cout << "Table 2 analogue: CPU execution time in kernels "
+            << (quick ? "(quick inputs)" : "(full inputs)") << "\n\n";
+
+  TextTable t({"application", "CPU kernel s", "CPU other s", "% in kernel",
+               "Amdahl ceiling"});
+  for (const auto& app : apps::make_suite()) {
+    const auto r = app->run(spec, scale);
+    const double ceiling = r.amdahl_ceiling();
+    t.add_row({
+        r.info.name,
+        fixed(r.cpu_kernel_seconds, 4),
+        fixed(r.cpu_other_seconds, 4),
+        fixed(r.kernel_pct(), 1),
+        // A fully-kernel application has no Amdahl cap worth printing.
+        ceiling > 1e4 ? "unbounded" : cat(fixed(ceiling, 1), "x"),
+    });
+  }
+  t.print(std::cout);
+  std::cout << "\n(CPU seconds are host-measured, scaled to the paper's "
+               "2.2 GHz Opteron 248 baseline; see core/cpu_calibration.h)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Walks the paper's §4 optimization process interactively: start from the
+// naive matrix-multiplication kernel, follow the advisor's diagnosis at each
+// step, and use the autotuner to sweep the configuration space the way §6
+// wishes a tool would.
+//
+//   ./build/examples/matmul_tuning [n]    (n defaults to 1024, multiple of 48)
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/matmul/matmul.h"
+#include "common/str.h"
+#include "core/advisor.h"
+#include "core/autotuner.h"
+#include "cudalite/device.h"
+
+using namespace g80;
+using namespace g80::apps;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 1024;
+  if (n <= 0 || n % 48 != 0) {
+    std::cerr << "n must be a positive multiple of 48 (tile sizes 4/8/12/16)\n";
+    return 1;
+  }
+
+  Device dev;
+  auto da = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+  auto db = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+  auto dc = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+
+  std::cout << "== Step 1: naive kernel (one thread per C element) ==\n";
+  const auto naive =
+      run_matmul(dev, {MatmulVariant::kNaive, 16}, n, da, db, dc, false);
+  std::cout << "  " << fixed(naive.timing.gflops, 2) << " GFLOPS, bottleneck: "
+            << bottleneck_name(naive.timing.bottleneck) << "\n"
+            << format_advice(advise(dev.spec(), naive)) << "\n";
+
+  std::cout << "== Step 2: follow the advice — tile through shared memory ==\n";
+  const auto tiled =
+      run_matmul(dev, {MatmulVariant::kTiled, 16}, n, da, db, dc, false);
+  std::cout << "  " << fixed(tiled.timing.gflops, 2) << " GFLOPS ("
+            << fixed(tiled.timing.gflops / naive.timing.gflops, 2)
+            << "x), bottleneck: " << bottleneck_name(tiled.timing.bottleneck)
+            << "\n" << format_advice(advise(dev.spec(), tiled)) << "\n";
+
+  std::cout << "== Step 3: unroll the inner loop (instruction efficiency) ==\n";
+  const auto unrolled =
+      run_matmul(dev, {MatmulVariant::kTiledUnrolled, 16}, n, da, db, dc, false);
+  std::cout << "  " << fixed(unrolled.timing.gflops, 2) << " GFLOPS ("
+            << fixed(unrolled.timing.gflops / naive.timing.gflops, 2)
+            << "x over naive), fmad mix "
+            << fixed(100 * unrolled.trace.fmad_fraction(), 1) << "%\n\n";
+
+  std::cout << "== Step 4: autotune the full configuration space ==\n";
+  Autotuner tuner;
+  for (int tile : {4, 8, 12, 16}) {
+    if (n % tile != 0) continue;
+    for (auto v : {MatmulVariant::kTiled, MatmulVariant::kTiledUnrolled}) {
+      const MatmulConfig cfg{v, tile};
+      tuner.add(cfg.name(),
+                [&, cfg] { return run_matmul(dev, cfg, n, da, db, dc, false); });
+    }
+  }
+  const MatmulConfig pf{MatmulVariant::kPrefetch, 16};
+  tuner.add(pf.name(), [&] { return run_matmul(dev, pf, n, da, db, dc, false); });
+  std::cout << tuner.sweep().to_table(dev.spec()) << "\n"
+            << "(§4.4's lesson appears in the last row: prefetching costs a "
+               "register, a block of\noccupancy, and ~3-5% of throughput)\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "apps/suite.h"
+
+#include "apps/cp/cp.h"
+#include "apps/fdtd/fdtd.h"
+#include "apps/fem/fem.h"
+#include "apps/h264/h264.h"
+#include "apps/pns/pns.h"
+#include "apps/rpes/rpes.h"
+#include "apps/lbm/lbm.h"
+#include "apps/rc5/rc5.h"
+#include "apps/tpacf/tpacf.h"
+#include "apps/matmul/matmul.h"
+#include "apps/mri/mri_fhd.h"
+#include "apps/mri/mri_q.h"
+#include "apps/saxpy/saxpy.h"
+
+namespace g80::apps {
+
+std::vector<std::unique_ptr<App>> make_suite() {
+  std::vector<std::unique_ptr<App>> suite;
+  suite.push_back(std::make_unique<MatmulApp>());
+  suite.push_back(std::make_unique<SaxpyApp>());
+  suite.push_back(std::make_unique<MriQApp>());
+  suite.push_back(std::make_unique<MriFhdApp>());
+  suite.push_back(std::make_unique<CpApp>());
+  suite.push_back(std::make_unique<TpacfApp>());
+  suite.push_back(std::make_unique<Rc5App>());
+  suite.push_back(std::make_unique<LbmApp>());
+  suite.push_back(std::make_unique<FdtdApp>());
+  suite.push_back(std::make_unique<FemApp>());
+  suite.push_back(std::make_unique<PnsApp>());
+  suite.push_back(std::make_unique<RpesApp>());
+  suite.push_back(std::make_unique<H264App>());
+  return suite;
+}
+
+}  // namespace g80::apps

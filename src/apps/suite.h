@@ -1,0 +1,14 @@
+// The application suite of the paper's §5 study (Tables 2 and 3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/app.h"
+
+namespace g80::apps {
+
+// All ported applications, in the paper's Table 2 order where applicable.
+std::vector<std::unique_ptr<App>> make_suite();
+
+}  // namespace g80::apps

@@ -1,0 +1,46 @@
+// Error handling primitives used across g80sim.
+//
+// The simulator favours fail-fast semantics: a programming-model violation
+// (e.g. a divergent __syncthreads, an out-of-bounds device access) throws
+// g80::Error with a descriptive message, mirroring how the real CUDA runtime
+// surfaces launch failures.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace g80 {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace g80
+
+// Always-on invariant check (simulator correctness, not input validation).
+#define G80_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) ::g80::detail::fail(#cond, __FILE__, __LINE__, {});  \
+  } while (0)
+
+// Check with a streamed message: G80_CHECK_MSG(x > 0, "x=" << x).
+#define G80_CHECK_MSG(cond, stream_expr)                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream g80_os_;                                     \
+      g80_os_ << stream_expr;                                         \
+      ::g80::detail::fail(#cond, __FILE__, __LINE__, g80_os_.str());  \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,23 @@
+// Repetition-based wall-clock measurement for the CPU baselines.
+#pragma once
+
+#include <functional>
+
+#include "common/timer.h"
+
+namespace g80 {
+
+// Runs `fn` repeatedly until at least `min_seconds` of wall time and
+// `min_reps` repetitions have accumulated; returns mean seconds per call.
+inline double measure_seconds(const std::function<void()>& fn,
+                              int min_reps = 2, double min_seconds = 0.02) {
+  Timer t;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (reps < min_reps || t.seconds() < min_seconds);
+  return t.seconds() / reps;
+}
+
+}  // namespace g80

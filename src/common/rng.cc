@@ -1,0 +1,68 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace g80 {
+
+std::uint64_t SplitMix64::next_u64() {
+  state_ += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double SplitMix64::next_double() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double SplitMix64::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+float SplitMix64::uniform_f(float lo, float hi) {
+  return static_cast<float>(uniform(lo, hi));
+}
+
+std::uint64_t SplitMix64::next_below(std::uint64_t n) {
+  // Modulo bias is negligible for n << 2^64 (all our uses).
+  return n == 0 ? 0 : next_u64() % n;
+}
+
+double SplitMix64::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_ = r * std::sin(theta);
+  have_spare_ = true;
+  return r * std::cos(theta);
+}
+
+namespace {
+inline std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 33)) * 0xFF51AFD7ED558CCDull;
+  x = (x ^ (x >> 33)) * 0xC4CEB9FE1A85EC53ull;
+  return x ^ (x >> 33);
+}
+}  // namespace
+
+std::uint64_t CounterRng::at(std::uint64_t counter) const {
+  return mix(mix(counter + 0x9E3779B97F4A7C15ull) ^ mix(seed_));
+}
+
+double CounterRng::double_at(std::uint64_t counter) const {
+  return static_cast<double>(at(counter) >> 11) * 0x1.0p-53;
+}
+
+float CounterRng::float_at(std::uint64_t counter) const {
+  return static_cast<float>(at(counter) >> 40) * 0x1.0p-24f;
+}
+
+}  // namespace g80

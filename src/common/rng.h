@@ -1,0 +1,52 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Two generators are provided:
+//  - SplitMix64: a tiny, fast sequential PRNG used for host-side workload
+//    generation.
+//  - CounterRng: a counter-based (Philox-lite) generator whose output is a
+//    pure function of (seed, counter).  Kernels that need per-thread random
+//    streams (PNS, TPACF jackknife resamples, RC5 plaintexts) use it so the
+//    simulated-GPU and CPU-reference versions see *identical* streams
+//    regardless of execution order.
+#pragma once
+
+#include <cstdint>
+
+namespace g80 {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64();
+  // Uniform in [0, 1).
+  double next_double();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  float uniform_f(float lo, float hi);
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+  // Standard normal via Box-Muller.
+  double normal();
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+// Stateless counter-based generator: hash of (seed, counter) with strong
+// avalanche (two rounds of a 128-bit multiply mix, in the spirit of Philox).
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t at(std::uint64_t counter) const;
+  double double_at(std::uint64_t counter) const;   // [0, 1)
+  float float_at(std::uint64_t counter) const;     // [0, 1)
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace g80

@@ -1,0 +1,49 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace g80 {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  G80_CHECK(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<long long>(t * static_cast<double>(counts_.size()));
+  i = std::clamp<long long>(i, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double rel_err(double a, double b, double eps) {
+  return std::abs(a - b) / std::max(std::abs(b), eps);
+}
+
+}  // namespace g80

@@ -1,0 +1,34 @@
+#include "common/str.h"
+
+#include <cstdio>
+
+namespace g80 {
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  if (u == 0) return cat(static_cast<long long>(bytes), " B");
+  return cat(fixed(bytes, 1), " ", units[u]);
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace g80

@@ -1,0 +1,27 @@
+// Small string-formatting helpers (gcc 12 lacks a complete <format>).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace g80 {
+
+// Concatenate all arguments via operator<<.
+template <class... Ts>
+std::string cat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+// Fixed-point formatting with `digits` decimals (e.g. fixed(3.14159, 2) == "3.14").
+std::string fixed(double v, int digits);
+
+// Human-readable byte count ("64 B", "16.0 KB", "1.5 GB").
+std::string human_bytes(double bytes);
+
+// Right-pad / left-pad to a width.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace g80

@@ -1,0 +1,29 @@
+// Plain-text table formatter used by the bench binaries to print the paper's
+// tables and figures in a shape directly comparable to the original.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+class TextTable {
+ public:
+  // `headers` fixes the column count; every row must match it.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header underline and column alignment (numbers right,
+  // text left — detected per cell).
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace g80

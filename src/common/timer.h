@@ -1,0 +1,23 @@
+// Wall-clock timer for CPU-baseline measurement.
+#pragma once
+
+#include <chrono>
+
+namespace g80 {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace g80

@@ -1,0 +1,162 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "common/str.h"
+
+namespace g80 {
+
+double potential_gflops(const DeviceSpec& spec, const TraceSummary& trace) {
+  // Issue-limited throughput from the INSTRUCTION MIX alone (the §4.1
+  // PTX-counting arithmetic: "1/8 fused multiply-adds => 43.2 GFLOPS
+  // potential").  Memory-system serialization — bank replays, constant
+  // replays, uncoalesced transaction streams — is deliberately excluded:
+  // potential is what the kernel could reach if memory behaved perfectly.
+  const double issue = trace.total.ops.warp_issue_cycles(spec);
+  if (issue <= 0) return 0.0;
+  const double flops = trace.total.lane_flops;
+  // flops per SM-cycle when issue-saturated, times SMs and clock.
+  return flops / issue * spec.num_sms * spec.core_clock_ghz;
+}
+
+std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& s) {
+  std::vector<Advice> out;
+  const auto add = [&out](AdviceKind k, double sev, std::string msg) {
+    out.push_back({k, std::move(msg), sev});
+  };
+  const TraceSummary& tr = s.trace;
+  const KernelTiming& t = s.timing;
+
+  // --- Principle 2 / §4.2: bandwidth pressure ---
+  if (t.bottleneck == Bottleneck::kGlobalBandwidth) {
+    const double overfetch =
+        tr.total.useful_global_bytes > 0
+            ? static_cast<double>(tr.total.global.bytes) /
+                  static_cast<double>(tr.total.useful_global_bytes)
+            : 1.0;
+    if (tr.coalesced_fraction() < 0.9) {
+      add(AdviceKind::kImproveCoalescing, 1.0,
+          cat("only ", fixed(100 * tr.coalesced_fraction(), 1),
+              "% of global accesses coalesce into 16-word lines; DRAM moves ",
+              fixed(overfetch, 2),
+              "x the useful bytes — reorder threads or stage through shared "
+              "memory so each half-warp reads a contiguous aligned segment"));
+    }
+    add(AdviceKind::kUseSharedMemoryTiling, 0.9,
+        cat("kernel is DRAM-bandwidth bound (",
+            fixed(t.dram_gbs, 1), " GB/s of ",
+            fixed(spec.dram_bandwidth_gbs, 1),
+            " GB/s peak); increase reuse: tile inputs into shared memory and "
+            "amortize each global load across the block"));
+  }
+
+  // --- Principle 1: latency hiding needs enough warps ---
+  if (t.bottleneck == Bottleneck::kGlobalLatency ||
+      (s.occupancy.fraction(spec) < 0.5 &&
+       t.bottleneck != Bottleneck::kInstructionIssue)) {
+    const auto lim = s.occupancy.limiter;
+    if (lim == OccupancyLimit::kRegisters) {
+      add(AdviceKind::kReduceRegisterPressure, 0.8,
+          cat(s.regs_per_thread, " registers/thread limits the SM to ",
+              s.occupancy.blocks_per_sm,
+              " block(s); shaving registers (e.g. rematerialize or restrict "
+              "unrolling) would admit another block — the §4.4 prefetching "
+              "lesson in reverse"));
+    } else if (lim == OccupancyLimit::kSharedMem) {
+      add(AdviceKind::kReduceSharedMemoryUsage, 0.8,
+          cat(s.smem_per_block, " B of shared memory per block limits the SM to ",
+              s.occupancy.blocks_per_sm, " block(s)"));
+    } else {
+      add(AdviceKind::kIncreaseOccupancy, 0.7,
+          cat("only ", s.occupancy.active_warps_per_sm,
+              " warps/SM are resident (MWP ", fixed(t.mwp, 1), " < CWP ",
+              fixed(t.cwp, 1),
+              "); use more, finer-grained threads to hide the ~",
+              fixed(spec.global_latency_cycles, 0), "-cycle global latency"));
+    }
+  }
+
+  // --- Principle 3: SIMD divergence and bank conflicts ---
+  if (tr.divergent_branch_fraction() > 0.05) {
+    add(AdviceKind::kAvoidDivergence, 0.6,
+        cat(fixed(100 * tr.divergent_branch_fraction(), 1),
+            "% of warp branches diverge; reorganize threads so warps take "
+            "uniform paths"));
+  }
+  if (tr.num_warps > 0) {
+    const double conflicts_per_warp =
+        static_cast<double>(tr.total.shared_extra_passes) /
+        static_cast<double>(tr.num_warps);
+    const double shared_insts_per_warp =
+        static_cast<double>(tr.total.ops[OpClass::kLoadShared] +
+                            tr.total.ops[OpClass::kStoreShared]) /
+        static_cast<double>(tr.num_warps);
+    if (shared_insts_per_warp > 0 &&
+        conflicts_per_warp > 0.1 * shared_insts_per_warp) {
+      add(AdviceKind::kFixBankConflicts, 0.6,
+          cat("shared-memory accesses replay ",
+              fixed(conflicts_per_warp, 1),
+              " extra passes per warp from bank conflicts; pad arrays or "
+              "permute indices across the 16 banks"));
+    }
+  }
+
+  // --- §4.3: instruction-efficiency headroom when issue-bound ---
+  if (t.bottleneck == Bottleneck::kInstructionIssue) {
+    const double mix = tr.fmad_fraction();
+    if (mix < 0.25 && tr.total.lane_flops > 0) {
+      add(AdviceKind::kReduceInstructionOverhead, 0.5,
+          cat("issue-bound with only ", fixed(100 * mix, 1),
+              "% fused multiply-adds in the mix (potential ",
+              fixed(potential_gflops(spec, tr), 1),
+              " GFLOPS); unroll inner loops and fold address arithmetic into "
+              "constants to raise the useful-instruction fraction"));
+    }
+  }
+
+  // --- Read-only data placement ---
+  if (tr.num_warps > 0) {
+    const double scattered_frac =
+        tr.total.global.bytes > 0
+            ? static_cast<double>(tr.total.global.scattered_bytes) /
+                  static_cast<double>(tr.total.global.bytes)
+            : 0.0;
+    if (scattered_frac > 0.5 && tr.total.global.bytes > 0 &&
+        t.bottleneck != Bottleneck::kInstructionIssue) {
+      add(AdviceKind::kUseConstantOrTextureCache, 0.5,
+          cat(fixed(100 * scattered_frac, 1),
+              "% of DRAM traffic is scattered; if the data is read-only, "
+              "serve it from the constant cache (uniform index) or texture "
+              "cache (spatially local index) — the paper's PNS port gained "
+              "2.8x this way"));
+    }
+  }
+
+  // --- Machine fill ---
+  if (t.bottleneck == Bottleneck::kIdle) {
+    add(AdviceKind::kIncreaseParallelism, 0.9,
+        cat("grid of ", s.grid.count(), " block(s) cannot fill ",
+            spec.num_sms, " SMs x ", s.occupancy.blocks_per_sm,
+            " blocks; expose more thread-level parallelism"));
+  }
+  if (t.bottleneck == Bottleneck::kSynchronization) {
+    add(AdviceKind::kSplitKernelForGlobalSync, 0.8,
+        "barrier stalls dominate; restructure phases so fewer warps wait "
+        "idle, or split the kernel at global synchronization points");
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Advice& a, const Advice& b) { return a.severity > b.severity; });
+  return out;
+}
+
+std::string format_advice(const std::vector<Advice>& advice) {
+  if (advice.empty()) return "  (no advice: kernel is well balanced)\n";
+  std::string s;
+  for (const auto& a : advice) {
+    s += cat("  [", fixed(a.severity, 2), "] ", a.message, "\n");
+  }
+  return s;
+}
+
+}  // namespace g80

@@ -1,0 +1,51 @@
+// Optimization advisor: the paper's four optimization principles (§1) turned
+// into an automated diagnosis over a launch's statistics.
+//
+//   1. leverage zero-overhead thread scheduling to hide memory latency,
+//   2. optimize use of on-chip memory to reduce bandwidth usage,
+//   3. group threads to avoid SIMD penalties and memory port/bank conflicts,
+//   4. structure around the lack of global inter-block synchronization.
+//
+// Given a LaunchStats, the advisor emits concrete, prioritized advice of the
+// kind §4 and §5.2 walk through by hand (tile for reuse, fix coalescing,
+// reduce registers to fit another block, unroll the hot loop, move read-only
+// tables to constant/texture space...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cudalite/launch.h"
+
+namespace g80 {
+
+enum class AdviceKind {
+  kImproveCoalescing,
+  kUseSharedMemoryTiling,
+  kIncreaseOccupancy,
+  kReduceRegisterPressure,
+  kReduceSharedMemoryUsage,
+  kFixBankConflicts,
+  kReduceInstructionOverhead,  // unrolling / CSE / strength reduction (§4.3)
+  kAvoidDivergence,
+  kUseConstantOrTextureCache,
+  kIncreaseParallelism,        // grid too small for the machine
+  kSplitKernelForGlobalSync,   // time-sliced pattern (§5.1)
+  kNone,
+};
+
+struct Advice {
+  AdviceKind kind = AdviceKind::kNone;
+  std::string message;   // human-readable, cites the triggering numbers
+  double severity = 0;   // [0,1]; ordering key, 1 = dominant bottleneck
+};
+
+std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& stats);
+
+// Potential issue-limited throughput from the instruction mix — the paper's
+// "1/8 of operations are fused multiply-adds => 43.2 GFLOPS potential" (§4.1).
+double potential_gflops(const DeviceSpec& spec, const TraceSummary& trace);
+
+std::string format_advice(const std::vector<Advice>& advice);
+
+}  // namespace g80

@@ -1,0 +1,103 @@
+// Application-suite framework: the common harness behind the paper's
+// Tables 2 and 3.
+//
+// Every ported application provides a CPU reference implementation (the
+// baseline), a cudalite kernel (the port), and enough structure for the
+// harness to compute the paper's per-application metrics: kernel fraction of
+// CPU time (Table 2), resource usage / memory ratio / bottleneck (Table 3),
+// and kernel & application speedups.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cudalite/launch.h"
+
+namespace g80 {
+
+enum class RunScale {
+  kQuick,  // small inputs, used by tests (functional validation included)
+  kFull,   // bench-scale inputs
+};
+
+// Static description plus the values the paper's text states for this
+// application (only values actually present in the paper are filled in;
+// everything else stays nullopt rather than being invented).
+struct AppInfo {
+  std::string name;
+  std::string description;
+  std::optional<double> paper_kernel_pct;      // Table 2: % CPU time in kernel
+  std::optional<std::string> paper_bottleneck; // Table 3 narrative
+  std::optional<double> paper_kernel_speedup;
+  std::optional<double> paper_app_speedup;
+};
+
+struct AppResult {
+  AppInfo info;
+
+  // --- CPU baseline (measured on this host, single thread) ---
+  double cpu_kernel_seconds = 0;  // time in the data-parallel phase
+  double cpu_other_seconds = 0;   // non-parallel remainder (I/O, setup, ...)
+
+  // --- GPU port (simulated GeForce 8800) ---
+  double gpu_kernel_seconds = 0;  // sum over all launches, incl. overhead
+  double transfer_seconds = 0;    // host<->device copies
+  int launches = 0;
+  LaunchStats representative;     // stats of the dominant kernel launch
+
+  // --- Validation ---
+  bool validated = false;
+  double max_rel_err = 0;
+
+  // Derived metrics -----------------------------------------------------
+  double cpu_total_seconds() const { return cpu_kernel_seconds + cpu_other_seconds; }
+  // Table 2: percentage of single-thread CPU execution time spent in kernels.
+  double kernel_pct() const {
+    const double t = cpu_total_seconds();
+    return t > 0 ? 100.0 * cpu_kernel_seconds / t : 0.0;
+  }
+  // Amdahl ceiling implied by kernel_pct.
+  double amdahl_ceiling() const {
+    const double f = cpu_kernel_seconds / std::max(cpu_total_seconds(), 1e-30);
+    return 1.0 / (1.0 - f + 1e-12);
+  }
+  double gpu_total_seconds() const {
+    return gpu_kernel_seconds + transfer_seconds + cpu_other_seconds;
+  }
+  double kernel_speedup() const {
+    return cpu_kernel_seconds / std::max(gpu_kernel_seconds, 1e-30);
+  }
+  double app_speedup() const {
+    return cpu_total_seconds() / std::max(gpu_total_seconds(), 1e-30);
+  }
+  // Table 3: GPU execution time as % of GPU-port total.
+  double gpu_exec_pct() const {
+    return 100.0 * gpu_kernel_seconds / std::max(gpu_total_seconds(), 1e-30);
+  }
+  double transfer_pct() const {
+    return 100.0 * transfer_seconds / std::max(gpu_total_seconds(), 1e-30);
+  }
+};
+
+class App {
+ public:
+  virtual ~App() = default;
+  virtual AppInfo info() const = 0;
+  // Runs CPU baseline + GPU port, validates outputs against each other, and
+  // fills in the metrics.  Throws g80::Error on simulator misuse.
+  // Each run constructs its own Device from `spec` (fresh address space,
+  // constant-memory budget, and transfer ledger).
+  virtual AppResult run(const DeviceSpec& spec, RunScale scale) const = 0;
+};
+
+// Helper used by every app: fold one launch into the result totals.
+void accumulate_launch(AppResult& r, const DeviceSpec& spec,
+                       const LaunchStats& stats, bool representative = false);
+
+// Record validation outcome given the worst relative error and a tolerance.
+void finish_validation(AppResult& r, double max_rel_err, double tol);
+
+}  // namespace g80

@@ -1,0 +1,53 @@
+#include "core/autotuner.h"
+
+#include "common/error.h"
+#include "common/str.h"
+#include "common/table.h"
+#include "occupancy/occupancy.h"
+
+namespace g80 {
+
+void Autotuner::add(std::string name, std::function<LaunchStats()> run) {
+  candidates_.push_back({std::move(name), std::move(run)});
+}
+
+TuneReport Autotuner::sweep() const {
+  G80_CHECK_MSG(!candidates_.empty(), "autotuner has no candidates");
+  TuneReport report;
+  report.entries.reserve(candidates_.size());
+  for (const auto& c : candidates_) {
+    TuneEntry e;
+    e.name = c.name;
+    e.stats = c.run();
+    e.seconds = e.stats.timing.seconds;
+    e.gflops = e.stats.timing.gflops;
+    report.entries.push_back(std::move(e));
+  }
+  for (std::size_t i = 1; i < report.entries.size(); ++i) {
+    if (report.entries[i].seconds < report.entries[report.best_index].seconds)
+      report.best_index = i;
+  }
+  return report;
+}
+
+std::string TuneReport::to_table(const DeviceSpec& spec) const {
+  TextTable t({"configuration", "GFLOPS", "time (ms)", "blocks/SM", "warps/SM",
+               "regs", "smem/blk", "limiter", "bottleneck"});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    t.add_row({
+        (i == best_index ? "* " : "  ") + e.name,
+        fixed(e.gflops, 2),
+        fixed(e.seconds * 1e3, 3),
+        cat(e.stats.occupancy.blocks_per_sm),
+        cat(e.stats.occupancy.active_warps_per_sm),
+        cat(e.stats.regs_per_thread),
+        cat(e.stats.smem_per_block),
+        std::string(occupancy_limit_name(e.stats.occupancy.limiter)),
+        std::string(bottleneck_name(e.stats.timing.bottleneck)),
+    });
+  }
+  return t.to_string();
+}
+
+}  // namespace g80

@@ -1,0 +1,53 @@
+// Configuration autotuner.
+//
+// §6 of the paper: "Better tools ... that allow programmers to specify the
+// types of reorganizations desired and automatically experiment with their
+// performance effects would greatly reduce the optimization effort."  This
+// is that tool for the simulated G80: callers register named configurations
+// (tile size, unroll factor, prefetch on/off, ...), each a callable that
+// performs a launch and returns its stats; the tuner sweeps them, ranks by
+// predicted time, and renders a Figure-4-style report.  It also flags local
+// maxima: configurations whose occupancy or bandwidth signature suggests a
+// different strategy would beat small perturbations (§6's "stuck in local
+// maximums" caveat).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cudalite/launch.h"
+
+namespace g80 {
+
+struct TuneCandidate {
+  std::string name;
+  std::function<LaunchStats()> run;
+};
+
+struct TuneEntry {
+  std::string name;
+  LaunchStats stats;
+  double gflops = 0;
+  double seconds = 0;
+};
+
+struct TuneReport {
+  std::vector<TuneEntry> entries;  // in registration order
+  std::size_t best_index = 0;
+
+  const TuneEntry& best() const { return entries.at(best_index); }
+  std::string to_table(const DeviceSpec& spec) const;
+};
+
+class Autotuner {
+ public:
+  void add(std::string name, std::function<LaunchStats()> run);
+  // Runs every candidate; ranks by kernel seconds.
+  TuneReport sweep() const;
+
+ private:
+  std::vector<TuneCandidate> candidates_;
+};
+
+}  // namespace g80

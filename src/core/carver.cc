@@ -1,0 +1,109 @@
+#include "core/carver.h"
+
+#include "common/error.h"
+#include "common/str.h"
+#include "common/table.h"
+
+namespace g80 {
+
+void OptimizationCarver::add(CarveCandidate candidate) {
+  candidates_.push_back(std::move(candidate));
+}
+
+double OptimizationCarver::efficiency_of(const DeviceSpec& spec,
+                                         const LaunchStats& s) {
+  // Useful floating-point work per cycle the warp occupies the issue logic
+  // (including memory-port serialization): the follow-up paper's
+  // instruction-efficiency metric, normalized so 1.0 == pure dual-flop MADs.
+  const double issue = s.trace.total.issue_cycles(spec);
+  if (issue <= 0) return 0.0;
+  return s.trace.total.lane_flops /
+         (issue * (2.0 * spec.sps_per_sm));
+}
+
+double OptimizationCarver::utilization_of(const DeviceSpec& spec,
+                                          const LaunchStats& s) {
+  // How much latency-hiding capacity is resident: the occupancy fraction,
+  // discounted when the grid cannot even fill one wave.
+  const double occupancy = s.occupancy.fraction(spec);
+  const double blocks = static_cast<double>(s.grid.count());
+  const double wave =
+      static_cast<double>(s.occupancy.blocks_per_sm) * spec.num_sms;
+  return occupancy * std::min(1.0, blocks / wave);
+}
+
+CarveReport OptimizationCarver::carve() const {
+  G80_CHECK_MSG(!candidates_.empty(), "carver has no candidates");
+  CarveReport report;
+  report.entries.reserve(candidates_.size());
+
+  // --- Probe phase ---
+  for (const auto& c : candidates_) {
+    CarveEntry e;
+    e.name = c.name;
+    const LaunchStats probe = c.probe();
+    e.efficiency = efficiency_of(spec_, probe);
+    e.utilization = utilization_of(spec_, probe);
+    report.entries.push_back(std::move(e));
+    ++report.probes;
+  }
+
+  // --- Pareto pruning on (efficiency, utilization): keep a point unless
+  // some other point is >= in both metrics and > in at least one. ---
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < report.entries.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const auto& a = report.entries[i];
+      const auto& b = report.entries[j];
+      dominated = b.efficiency >= a.efficiency &&
+                  b.utilization >= a.utilization &&
+                  (b.efficiency > a.efficiency || b.utilization > a.utilization);
+    }
+    report.entries[i].pareto = !dominated;
+  }
+
+  // --- Full evaluation of the frontier ---
+  bool have_best = false;
+  for (std::size_t i = 0; i < report.entries.size(); ++i) {
+    if (!report.entries[i].pareto) continue;
+    report.entries[i].full = candidates_[i].evaluate();
+    report.entries[i].evaluated = true;
+    ++report.evaluations;
+    if (!have_best || report.entries[i].full.timing.seconds <
+                          report.entries[report.best_index].full.timing.seconds) {
+      report.best_index = i;
+      have_best = true;
+    }
+  }
+  G80_CHECK(have_best);  // the frontier is never empty
+  return report;
+}
+
+std::string CarveReport::to_table(const DeviceSpec& spec) const {
+  TextTable t({"configuration", "efficiency", "utilization", "pareto",
+               "GFLOPS (full eval)"});
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    t.add_row({
+        (evaluated_best(i) ? "* " : "  ") + e.name,
+        fixed(e.efficiency, 3),
+        fixed(e.utilization, 2),
+        e.pareto ? "yes" : "pruned",
+        e.evaluated ? fixed(e.full.timing.gflops, 2) : "-",
+    });
+  }
+  std::string s = t.to_string();
+  s += cat("\nprobes: ", probes, ", full evaluations: ", evaluations, " (",
+           fixed(100.0 * static_cast<double>(evaluations) /
+                     static_cast<double>(probes),
+                 0),
+           "% of the space)\n");
+  return s;
+}
+
+bool CarveReport::evaluated_best(std::size_t i) const {
+  return entries[i].evaluated && i == best_index;
+}
+
+}  // namespace g80

@@ -1,0 +1,75 @@
+// Optimization-space carving — the §6 future-work item made concrete.
+//
+// §6: "It is also possible to get stuck in local maximums of performance
+// when attempting to follow a particular optimization strategy ... Better
+// tools and compilers that allow programmers to specify the types of
+// reorganizations desired and automatically experiment with their
+// performance effects would greatly reduce the optimization effort."
+// The authors' follow-up work ("program optimization space pruning")
+// formalized this: characterize every configuration by two cheap static
+// metrics — *efficiency* (useful work per issued instruction) and
+// *utilization* (how fully the machine's latency-hiding resources are
+// engaged) — and fully evaluate only the Pareto-optimal subset, because the
+// true optimum empirically lies on that frontier.
+//
+// Here: a cheap PROBE (single traced block + the occupancy calculator)
+// yields (efficiency, utilization) per candidate; dominated candidates are
+// pruned; survivors get the full multi-block timing evaluation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cudalite/launch.h"
+
+namespace g80 {
+
+struct CarveCandidate {
+  std::string name;
+  // Cheap probe: a launch with sample_blocks == 1, functional off.
+  std::function<LaunchStats()> probe;
+  // Full evaluation (normal sampling); only called for Pareto survivors.
+  std::function<LaunchStats()> evaluate;
+};
+
+struct CarveEntry {
+  std::string name;
+  double efficiency = 0;   // lane flops per warp-issue cycle (probe)
+  double utilization = 0;  // fraction of SM thread contexts resident (probe)
+  bool pareto = false;     // survived pruning
+  bool evaluated = false;
+  LaunchStats full;        // valid iff evaluated
+};
+
+struct CarveReport {
+  std::vector<CarveEntry> entries;   // registration order
+  std::size_t best_index = 0;        // among evaluated entries
+  std::size_t probes = 0;            // cheap probes performed (== candidates)
+  std::size_t evaluations = 0;       // full evaluations performed
+
+  const CarveEntry& best() const { return entries.at(best_index); }
+  bool evaluated_best(std::size_t i) const;
+  std::string to_table(const DeviceSpec& spec) const;
+};
+
+class OptimizationCarver {
+ public:
+  explicit OptimizationCarver(const DeviceSpec& spec) : spec_(spec) {}
+
+  void add(CarveCandidate candidate);
+
+  // Probe everything, prune to the (efficiency, utilization) Pareto
+  // frontier, fully evaluate the survivors.
+  CarveReport carve() const;
+
+  // Metrics, exposed for tests.
+  static double efficiency_of(const DeviceSpec& spec, const LaunchStats& s);
+  static double utilization_of(const DeviceSpec& spec, const LaunchStats& s);
+
+ private:
+  const DeviceSpec& spec_;
+  std::vector<CarveCandidate> candidates_;
+};
+
+}  // namespace g80

@@ -1,0 +1,52 @@
+#include "core/cpu_calibration.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace g80 {
+
+namespace {
+
+// Sustained scalar multiply-add rate of an Opteron 248 (2.2 GHz K8, one
+// SSE2 scalar MAD pipe, measured ~2 flops / 2 cycles on this loop shape).
+constexpr double kOpteronGflops = 2.2;
+
+double measure_host_gflops() {
+  // Four independent accumulator chains so the loop is throughput-bound,
+  // matching how compilers schedule the reference kernels.
+  volatile float sink;
+  float a0 = 1.0f, a1 = 1.1f, a2 = 1.2f, a3 = 1.3f;
+  const float x = 1.0000001f, y = 1e-7f;
+  constexpr long long kIters = 50'000'000;
+  Timer t;
+  for (long long i = 0; i < kIters; ++i) {
+    a0 = a0 * x + y;
+    a1 = a1 * x + y;
+    a2 = a2 * x + y;
+    a3 = a3 * x + y;
+  }
+  const double secs = t.seconds();
+  sink = a0 + a1 + a2 + a3;
+  (void)sink;
+  const double flops = 2.0 * 4.0 * static_cast<double>(kIters);
+  return flops / secs / 1e9;
+}
+
+}  // namespace
+
+const CpuCalibration& cpu_calibration() {
+  static const CpuCalibration cal = [] {
+    CpuCalibration c;
+    c.host_gflops = std::max(0.1, measure_host_gflops());
+    c.opteron_gflops = kOpteronGflops;
+    return c;
+  }();
+  return cal;
+}
+
+double to_opteron_seconds(double host_seconds) {
+  return host_seconds * cpu_calibration().host_to_opteron();
+}
+
+}  // namespace g80

@@ -1,0 +1,28 @@
+// Host-CPU calibration.
+//
+// The paper's baseline is a single 2.2 GHz Opteron 248 core.  This machine's
+// CPU is much faster, so raw host-vs-simulated-GPU ratios would understate
+// every speedup.  We measure the host's sustained single-thread scalar
+// floating-point rate with a dependency-free multiply-add loop and scale
+// measured CPU times up to "Opteron seconds" by the ratio against the
+// Opteron's sustained rate on the same loop.  EXPERIMENTS.md discusses the
+// uncertainty this introduces (roughly a constant factor on all speedups —
+// shapes and orderings are unaffected).
+#pragma once
+
+namespace g80 {
+
+struct CpuCalibration {
+  double host_gflops = 0;      // measured sustained scalar MAD rate
+  double opteron_gflops = 0;   // assumed Opteron 248 sustained rate
+  // Multiply a measured host time by this to estimate Opteron-248 time.
+  double host_to_opteron() const { return host_gflops / opteron_gflops; }
+};
+
+// Measures the host (cached after the first call; deterministic workload).
+const CpuCalibration& cpu_calibration();
+
+// Scale a measured host duration to the paper's baseline CPU.
+double to_opteron_seconds(double host_seconds);
+
+}  // namespace g80

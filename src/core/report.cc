@@ -1,0 +1,101 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "common/str.h"
+#include "common/table.h"
+#include "core/advisor.h"
+#include "occupancy/occupancy.h"
+
+namespace g80 {
+
+std::string launch_summary(const DeviceSpec& spec, const LaunchStats& s) {
+  return cat(fixed(s.timing.seconds * 1e3, 3), " ms | ",
+             fixed(s.timing.gflops, 1), " GFLOPS | ",
+             fixed(s.timing.dram_gbs, 1), " GB/s | ",
+             s.occupancy.active_threads_per_sm, " thr/SM | ",
+             bottleneck_name(s.timing.bottleneck));
+}
+
+std::string launch_report(const DeviceSpec& spec, const LaunchStats& s) {
+  std::ostringstream os;
+  const auto& tr = s.trace;
+  const auto& t = s.timing;
+
+  os << "=== launch report: grid " << s.grid.x << "x" << s.grid.y
+     << ", block " << s.block.x << "x" << s.block.y << "x" << s.block.z
+     << " (" << s.grid.count() << " blocks x " << s.block.count()
+     << " threads) ===\n\n";
+
+  // --- Occupancy ---
+  os << "occupancy: " << s.occupancy.blocks_per_sm << " block(s)/SM, "
+     << s.occupancy.active_warps_per_sm << " warps, "
+     << s.occupancy.active_threads_per_sm << "/" << spec.max_threads_per_sm
+     << " threads (" << fixed(100 * s.occupancy.fraction(spec), 0)
+     << "%), limited by " << occupancy_limit_name(s.occupancy.limiter)
+     << "\nresources: " << s.regs_per_thread << " regs/thread, "
+     << human_bytes(static_cast<double>(s.smem_per_block))
+     << " shared memory/block\n\n";
+
+  // --- Instruction mix ---
+  os << "instruction mix (per traced warp, " << tr.num_warps << " warps from "
+     << tr.num_blocks << " block(s)):\n";
+  {
+    TextTable mix({"class", "count/warp", "share %"});
+    const double total = static_cast<double>(tr.total.ops.total());
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+      const auto n = tr.total.ops.counts[c];
+      if (n == 0) continue;
+      mix.add_row({std::string(op_class_name(static_cast<OpClass>(c))),
+                   fixed(static_cast<double>(n) / static_cast<double>(tr.num_warps), 1),
+                   fixed(100.0 * static_cast<double>(n) / total, 1)});
+    }
+    os << mix.to_string();
+  }
+  os << "potential throughput (mix-limited, §4.1): "
+     << fixed(potential_gflops(spec, tr), 2) << " GFLOPS\n\n";
+
+  // --- Memory system ---
+  os << "global memory: " << tr.mean_global_instructions()
+     << " accesses/warp, " << fixed(100 * tr.coalesced_fraction(), 1)
+     << "% coalesced, " << fixed(tr.transactions_per_mem_inst(), 2)
+     << " txn/access";
+  if (tr.total.useful_global_bytes > 0) {
+    os << ", overfetch "
+       << fixed(static_cast<double>(tr.total.global.bytes) /
+                    static_cast<double>(tr.total.useful_global_bytes),
+                2)
+       << "x";
+  }
+  os << "\nshared memory: " << tr.total.shared_extra_passes
+     << " bank-conflict replays; constant: " << tr.total.const_extra_passes
+     << " serialization replays";
+  if (tr.total.texture_hits + tr.total.texture_misses > 0) {
+    os << "; texture hit rate "
+       << fixed(100.0 * static_cast<double>(tr.total.texture_hits) /
+                    static_cast<double>(tr.total.texture_hits +
+                                        tr.total.texture_misses),
+                1)
+       << "%";
+  }
+  os << "\nbranches: " << fixed(100 * tr.divergent_branch_fraction(), 1)
+     << "% divergent\n\n";
+
+  // --- Timing ---
+  os << "timing model: " << fixed(t.seconds * 1e3, 3) << " ms ("
+     << fixed(t.gflops, 2) << " GFLOPS, " << fixed(t.dram_gbs, 1)
+     << " GB/s DRAM)\n"
+     << "  waves " << fixed(t.waves, 2) << " x " << fixed(t.wave_cycles, 0)
+     << " cycles; floors: issue " << fixed(t.issue_floor_cycles, 0)
+     << ", latency " << fixed(t.latency_bound_cycles, 0) << ", bandwidth "
+     << fixed(t.bandwidth_floor_cycles, 0) << ", sync stalls "
+     << fixed(t.sync_stall_cycles, 0) << "\n"
+     << "  MWP " << fixed(t.mwp, 1) << ", CWP " << fixed(t.cwp, 1)
+     << "; bottleneck: " << bottleneck_name(t.bottleneck) << "\n\n";
+
+  // --- Advice ---
+  os << "advisor:\n" << format_advice(advise(spec, s));
+  return os.str();
+}
+
+}  // namespace g80

@@ -1,0 +1,23 @@
+// Human-readable launch report: everything the paper's methodology would
+// want to know about one kernel launch, in one place — occupancy and its
+// binding resource, the PTX-class instruction mix (with the §4.1
+// potential-throughput arithmetic), the memory-system analysis (coalescing,
+// bank conflicts, constant broadcast, texture hit rate), the timing model's
+// floors, and the advisor's prioritized suggestions.
+#pragma once
+
+#include <string>
+
+#include "cudalite/launch.h"
+
+namespace g80 {
+
+// Full multi-section report (occupancy / instruction mix / memory / timing /
+// advice).
+std::string launch_report(const DeviceSpec& spec, const LaunchStats& stats);
+
+// One-line summary, e.g. for per-iteration logging:
+//   "0.152 ms | 13.8 GFLOPS | 55.0 GB/s | 768 thr/SM | global memory bandwidth"
+std::string launch_summary(const DeviceSpec& spec, const LaunchStats& stats);
+
+}  // namespace g80

@@ -1,0 +1,198 @@
+// The simulated compute device: owns "device memory" allocations, assigns
+// virtual device addresses (used by the coalescing analyzer), and keeps a
+// ledger of host<->device transfers for Table 3's transfer-time column.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "hw/device_spec.h"
+#include "timing/model.h"
+
+namespace g80 {
+
+class Device;
+
+// Bookkeeping for explicit host<->device copies (paper §2: "all data
+// communication ... between CPU and GPU is explicitly performed through the
+// GPU device driver").
+class TransferLedger {
+ public:
+  void record_h2d(std::uint64_t bytes) { h2d_bytes_ += bytes; ++h2d_count_; }
+  void record_d2h(std::uint64_t bytes) { d2h_bytes_ += bytes; ++d2h_count_; }
+  void reset() { *this = TransferLedger{}; }
+
+  std::uint64_t h2d_bytes() const { return h2d_bytes_; }
+  std::uint64_t d2h_bytes() const { return d2h_bytes_; }
+  std::uint64_t total_bytes() const { return h2d_bytes_ + d2h_bytes_; }
+  std::uint64_t transfer_count() const { return h2d_count_ + d2h_count_; }
+
+  double seconds(const DeviceSpec& spec) const {
+    return transfer_seconds(spec, total_bytes(), transfer_count());
+  }
+
+ private:
+  std::uint64_t h2d_bytes_ = 0, d2h_bytes_ = 0;
+  std::uint64_t h2d_count_ = 0, d2h_count_ = 0;
+};
+
+// A typed span of device memory.  Element types must be trivially copyable
+// and 4/8/16 bytes wide (the access sizes G80 can issue), or plain arrays of
+// such.  Backing storage lives host-side; the `device_addr` is the virtual
+// address the memory analyzers see.
+template <class T>
+class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device* dev, std::uint64_t device_addr, std::size_t n)
+      : dev_(dev), addr_(device_addr), storage_(n) {}
+
+  std::size_t size() const { return storage_.size(); }
+  std::uint64_t device_addr() const { return addr_; }
+  std::uint64_t bytes() const { return storage_.size() * sizeof(T); }
+
+  // Explicit transfers (logged).  Implemented in device.h below Device.
+  void copy_from_host(std::span<const T> src);
+  std::vector<T> copy_to_host() const;
+  void fill(const T& v) { std::fill(storage_.begin(), storage_.end(), v); }
+
+  // Direct backing-store access for views and test assertions (does not model
+  // a PCIe transfer; use copy_* in application code).
+  T* raw() { return storage_.data(); }
+  const T* raw() const { return storage_.data(); }
+
+ private:
+  Device* dev_ = nullptr;
+  std::uint64_t addr_ = 0;
+  std::vector<T> storage_;
+};
+
+// Read-only constant-space buffer (64 KB total on G80), served through the
+// broadcast constant cache.
+template <class T>
+class ConstantBuffer {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  ConstantBuffer() = default;
+  ConstantBuffer(Device* dev, std::uint64_t addr, std::size_t n)
+      : dev_(dev), addr_(addr), storage_(n) {}
+
+  std::size_t size() const { return storage_.size(); }
+  std::uint64_t device_addr() const { return addr_; }
+  void copy_from_host(std::span<const T> src);
+  const T* raw() const { return storage_.data(); }
+
+ private:
+  Device* dev_ = nullptr;
+  std::uint64_t addr_ = 0;
+  std::vector<T> storage_;
+};
+
+// Read-only texture-space buffer served through the per-SM texture cache.
+template <class T>
+class Texture1D {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Texture1D() = default;
+  Texture1D(Device* dev, std::uint64_t addr, std::size_t n)
+      : dev_(dev), addr_(addr), storage_(n) {}
+
+  std::size_t size() const { return storage_.size(); }
+  std::uint64_t device_addr() const { return addr_; }
+  void copy_from_host(std::span<const T> src);
+  const T* raw() const { return storage_.data(); }
+
+ private:
+  Device* dev_ = nullptr;
+  std::uint64_t addr_ = 0;
+  std::vector<T> storage_;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::geforce_8800_gtx())
+      : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  TransferLedger& ledger() { return ledger_; }
+  const TransferLedger& ledger() const { return ledger_; }
+
+  template <class T>
+  DeviceBuffer<T> alloc(std::size_t n) {
+    return DeviceBuffer<T>(this, allocate_range(n * sizeof(T)), n);
+  }
+
+  template <class T>
+  ConstantBuffer<T> alloc_constant(std::size_t n) {
+    const std::uint64_t bytes = n * sizeof(T);
+    G80_CHECK_MSG(constant_used_ + bytes <= kConstantSpaceBytes,
+                  "constant space exhausted (" << kConstantSpaceBytes << " B)");
+    constant_used_ += bytes;
+    return ConstantBuffer<T>(this, allocate_range(bytes), n);
+  }
+
+  template <class T>
+  Texture1D<T> alloc_texture(std::size_t n) {
+    return Texture1D<T>(this, allocate_range(n * sizeof(T)), n);
+  }
+
+  std::uint64_t bytes_allocated() const { return next_addr_ - kBaseAddr; }
+
+  static constexpr std::uint64_t kConstantSpaceBytes = 64 * 1024;
+
+ private:
+  std::uint64_t allocate_range(std::uint64_t bytes) {
+    // cudaMalloc-style 256 B alignment keeps row starts on 16-word lines.
+    constexpr std::uint64_t kAlign = 256;
+    const std::uint64_t addr = (next_addr_ + kAlign - 1) / kAlign * kAlign;
+    next_addr_ = addr + bytes;
+    G80_CHECK_MSG(bytes_allocated() <= spec_.global_mem_bytes,
+                  "device memory exhausted: "
+                      << bytes_allocated() << " B > " << spec_.global_mem_bytes
+                      << " B (the paper's PNS capacity limit, Table 3)");
+    return addr;
+  }
+
+  static constexpr std::uint64_t kBaseAddr = 1 << 20;
+
+  DeviceSpec spec_;
+  TransferLedger ledger_;
+  std::uint64_t next_addr_ = kBaseAddr;
+  std::uint64_t constant_used_ = 0;
+};
+
+template <class T>
+void DeviceBuffer<T>::copy_from_host(std::span<const T> src) {
+  G80_CHECK(src.size() <= storage_.size());
+  std::memcpy(storage_.data(), src.data(), src.size_bytes());
+  if (dev_) dev_->ledger().record_h2d(src.size_bytes());
+}
+
+template <class T>
+std::vector<T> DeviceBuffer<T>::copy_to_host() const {
+  if (dev_) dev_->ledger().record_d2h(bytes());
+  return storage_;
+}
+
+template <class T>
+void ConstantBuffer<T>::copy_from_host(std::span<const T> src) {
+  G80_CHECK(src.size() <= storage_.size());
+  std::memcpy(storage_.data(), src.data(), src.size_bytes());
+  if (dev_) dev_->ledger().record_h2d(src.size_bytes());
+}
+
+template <class T>
+void Texture1D<T>::copy_from_host(std::span<const T> src) {
+  G80_CHECK(src.size() <= storage_.size());
+  std::memcpy(storage_.data(), src.data(), src.size_bytes());
+  if (dev_) dev_->ledger().record_h2d(src.size_bytes());
+}
+
+}  // namespace g80

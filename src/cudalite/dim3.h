@@ -1,0 +1,43 @@
+// CUDA-style launch geometry types.
+#pragma once
+
+#include <cstdint>
+
+namespace g80 {
+
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(unsigned x_, unsigned y_ = 1, unsigned z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+
+  constexpr std::uint64_t count() const {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+  constexpr bool operator==(const Dim3&) const = default;
+};
+
+// CUDA linearization: x fastest, then y, then z (warps follow this order).
+constexpr unsigned linear_index(const Dim3& idx, const Dim3& dim) {
+  return (idx.z * dim.y + idx.y) * dim.x + idx.x;
+}
+
+constexpr Dim3 delinearize(unsigned linear, const Dim3& dim) {
+  Dim3 r;
+  r.x = linear % dim.x;
+  r.y = (linear / dim.x) % dim.y;
+  r.z = linear / (dim.x * dim.y);
+  return r;
+}
+
+// Small vector types matching CUDA's builtins (alignment included, so a
+// float4 load is one 16-byte access for the coalescing analyzer).
+struct alignas(8) Float2 {
+  float x = 0, y = 0;
+};
+struct alignas(16) Float4 {
+  float x = 0, y = 0, z = 0, w = 0;
+};
+
+}  // namespace g80

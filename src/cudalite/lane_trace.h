@@ -1,0 +1,46 @@
+// Per-thread (lane) dynamic trace recorded by the tracing context.
+//
+// Each lane independently logs its instruction-class counts and the ordered
+// sequence of memory accesses per address space.  After the block completes,
+// trace_collect.cc lines the lanes of a warp up by static instruction
+// identity ("lane k's j-th access AT THIS CALL SITE belongs to the warp's
+// j-th dynamic instance of that instruction") and runs the coalescing /
+// bank-conflict / constant-broadcast analyzers on each reconstructed warp
+// access.  Site-keyed grouping stays correct even when divergent lanes
+// execute different numbers of accesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/isa.h"
+#include "mem/access.h"
+
+namespace g80 {
+
+struct BranchEvent {
+  std::uint32_t site = 0;
+  bool taken = false;
+};
+
+struct LaneTrace {
+  OpCounts ops;
+  double flops = 0;
+  std::vector<MemAccess> global;
+  std::vector<MemAccess> shared;
+  std::vector<MemAccess> constant;
+  std::vector<MemAccess> texture;
+  std::vector<BranchEvent> branches;
+
+  void clear() {
+    ops = OpCounts{};
+    flops = 0;
+    global.clear();
+    shared.clear();
+    constant.clear();
+    texture.clear();
+    branches.clear();
+  }
+};
+
+}  // namespace g80

@@ -1,0 +1,137 @@
+// Kernel launching: the cudalite equivalent of kernel<<<grid, block>>>(...).
+//
+// A launch performs (up to) two passes over the same kernel template:
+//   1. a TRACE pass over a small sample of blocks, instrumented, feeding the
+//      occupancy calculator and timing model;
+//   2. a FUNCTIONAL pass over the whole grid, uninstrumented, producing the
+//      kernel's actual results.
+// Sampled blocks execute twice, so kernels must be idempotent at block
+// granularity — true of this entire suite (each block writes a disjoint
+// output region from inputs that the launch does not mutate).
+//
+// For very large grids (the 4096x4096 matmul of §4) callers disable the
+// functional pass and rely on the trace sample for timing; functional
+// correctness is established separately at smaller sizes by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "cudalite/ctx.h"
+#include "cudalite/device.h"
+#include "cudalite/trace_collect.h"
+#include "exec/block_runner.h"
+#include "occupancy/occupancy.h"
+#include "timing/model.h"
+
+namespace g80 {
+
+struct LaunchOptions {
+  // Registers per thread, as the CUDA 0.8 compiler would report (cubin
+  // metadata).  The paper's kernels state these; our kernels carry the
+  // paper's numbers where given and plausible estimates otherwise.
+  int regs_per_thread = 10;
+  // Number of blocks to trace for the timing model.
+  int sample_blocks = 4;
+  // Run the functional pass over the full grid.
+  bool functional = true;
+  // Kernel calls __syncthreads.  Setting this false enables a much faster
+  // fiber-less execution path; a kernel that then syncs anyway throws.
+  bool uses_sync = true;
+  // Fiber stack size for kernel threads.
+  std::size_t stack_bytes = 128 * 1024;
+};
+
+struct LaunchStats {
+  Dim3 grid, block;
+  std::size_t smem_per_block = 0;
+  int regs_per_thread = 0;
+  Occupancy occupancy;
+  TraceSummary trace;
+  KernelTiming timing;
+
+  // Device-side execution time of this launch.
+  double kernel_seconds() const { return timing.seconds; }
+  // Including the fixed driver launch overhead (dominant for the paper's
+  // time-sliced simulators that relaunch every step, §5.1).
+  double total_seconds(const DeviceSpec& spec) const {
+    return timing.seconds + spec.launch_overhead_us * 1e-6;
+  }
+};
+
+namespace detail {
+
+// Evenly spread `n` sample indices over [0, total), always including the
+// first and last block so grid-edge partial warps are represented.
+std::vector<std::uint64_t> pick_sample_blocks(std::uint64_t total, int n);
+
+}  // namespace detail
+
+template <class Kernel, class... Args>
+LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
+                   const Kernel& kernel, Args&&... args) {
+  const DeviceSpec& spec = dev.spec();
+  const auto threads = static_cast<int>(block.count());
+  G80_CHECK_MSG(threads >= 1 && threads <= spec.max_threads_per_block,
+                "block of " << threads << " threads (max "
+                            << spec.max_threads_per_block << ")");
+  G80_CHECK_MSG(grid.x <= static_cast<unsigned>(spec.max_grid_dim) &&
+                    grid.y <= static_cast<unsigned>(spec.max_grid_dim) &&
+                    grid.z == 1,
+                "grid exceeds 2-D " << spec.max_grid_dim << " limit");
+  const std::uint64_t total_blocks = grid.count();
+  G80_CHECK(total_blocks >= 1);
+
+  BlockRunner runner(opt.uses_sync ? threads : 1, spec.shared_mem_per_sm,
+                     opt.stack_bytes);
+  const auto run_block = [&](const std::function<void(int)>& body) {
+    if (opt.uses_sync) {
+      runner.run(threads, body);
+    } else {
+      runner.run_direct(threads, body);
+    }
+  };
+
+  LaunchStats stats;
+  stats.grid = grid;
+  stats.block = block;
+  stats.regs_per_thread = opt.regs_per_thread;
+
+  // ---- Trace pass ----
+  const auto samples = detail::pick_sample_blocks(total_blocks, opt.sample_blocks);
+  std::vector<BlockTrace> traces;
+  traces.reserve(samples.size());
+  std::vector<LaneTrace> lanes(threads);
+  for (const std::uint64_t b : samples) {
+    BlockEnv env{&runner, grid, block, delinearize(static_cast<unsigned>(b), grid)};
+    for (auto& l : lanes) l.clear();
+    run_block([&](int tid) {
+      TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
+      kernel(ctx, args...);
+    });
+    traces.push_back(collect_block_trace(spec, lanes));
+  }
+  stats.smem_per_block = runner.shared().bytes_used();
+  stats.trace = TraceSummary::summarize(traces);
+
+  // ---- Occupancy + timing ----
+  const KernelResources res{opt.regs_per_thread, stats.smem_per_block, threads};
+  stats.occupancy = compute_occupancy(spec, res);
+  stats.timing = simulate_kernel(spec, stats.occupancy, total_blocks, stats.trace);
+
+  // ---- Functional pass ----
+  if (opt.functional) {
+    for (std::uint64_t b = 0; b < total_blocks; ++b) {
+      BlockEnv env{&runner, grid, block, delinearize(static_cast<unsigned>(b), grid)};
+      run_block([&](int tid) {
+        FuncCtx ctx(&env, tid, NullRecorder{});
+        kernel(ctx, args...);
+      });
+    }
+  }
+  return stats;
+}
+
+}  // namespace g80

@@ -1,0 +1,61 @@
+// Recorder policies for the execution context.
+//
+// The same kernel source runs under two instantiations of Ctx<Recorder>:
+//  - NullRecorder: every hook is an empty inline function; the functional
+//    pass over the full grid runs at native C++ speed.
+//  - LaneRecorder: hooks append to the thread's LaneTrace for the timing
+//    model (used on sampled blocks only).
+#pragma once
+
+#include <cstdint>
+
+#include "cudalite/lane_trace.h"
+#include "hw/isa.h"
+
+namespace g80 {
+
+struct NullRecorder {
+  static constexpr bool kTracing = false;
+
+  void count(OpClass, int = 1) {}
+  void flops(double) {}
+  void mem(OpClass, std::uint64_t /*addr*/, std::uint32_t /*size*/,
+           std::uint32_t /*site*/) {}
+  void branch_outcome(bool, std::uint32_t /*site*/) {}
+};
+
+class LaneRecorder {
+ public:
+  static constexpr bool kTracing = true;
+
+  explicit LaneRecorder(LaneTrace* lane) : lane_(lane) {}
+
+  void count(OpClass c, int n = 1) {
+    lane_->ops[c] += static_cast<std::uint64_t>(n);
+  }
+  void flops(double f) { lane_->flops += f; }
+
+  void mem(OpClass c, std::uint64_t addr, std::uint32_t size,
+           std::uint32_t site) {
+    count(c);
+    const MemAccess a{addr, size, site, true};
+    switch (c) {
+      case OpClass::kLoadGlobal:
+      case OpClass::kStoreGlobal: lane_->global.push_back(a); break;
+      case OpClass::kLoadShared:
+      case OpClass::kStoreShared: lane_->shared.push_back(a); break;
+      case OpClass::kLoadConst: lane_->constant.push_back(a); break;
+      case OpClass::kLoadTexture: lane_->texture.push_back(a); break;
+      default: break;
+    }
+  }
+
+  void branch_outcome(bool taken, std::uint32_t site) {
+    lane_->branches.push_back({site, taken});
+  }
+
+ private:
+  LaneTrace* lane_;
+};
+
+}  // namespace g80

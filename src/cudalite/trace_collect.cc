@@ -1,0 +1,158 @@
+#include "cudalite/trace_collect.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+#include "mem/bank_conflict.h"
+#include "mem/coalescing.h"
+#include "mem/const_cache.h"
+#include "mem/texture_cache.h"
+
+namespace g80 {
+
+namespace {
+
+// Key of one warp-level dynamic instruction: the static call site plus the
+// per-lane occurrence index at that site.
+struct InstKey {
+  std::uint32_t site = 0;
+  std::uint32_t occurrence = 0;
+  bool operator==(const InstKey&) const = default;
+};
+
+struct InstKeyHash {
+  std::size_t operator()(const InstKey& k) const {
+    return (static_cast<std::size_t>(k.site) << 20) ^ k.occurrence;
+  }
+};
+
+// Reconstructs the warp-level instructions of one address space for the
+// lanes [lo, hi): groups per-lane accesses by (site, occurrence) and returns
+// them in first-appearance order.
+std::vector<WarpAccess> group_warp_instructions(
+    const std::vector<LaneTrace>& lanes, int lo, int hi,
+    std::vector<MemAccess> LaneTrace::*space, int warp_size) {
+  std::unordered_map<InstKey, std::size_t, InstKeyHash> index;
+  std::vector<WarpAccess> groups;
+  std::unordered_map<std::uint32_t, std::uint32_t> occurrence;
+
+  for (int k = lo; k < hi; ++k) {
+    occurrence.clear();
+    const auto& seq = lanes[static_cast<std::size_t>(k)].*space;
+    for (const MemAccess& a : seq) {
+      const InstKey key{a.site, occurrence[a.site]++};
+      auto [it, inserted] = index.emplace(key, groups.size());
+      if (inserted) groups.emplace_back(warp_size);
+      groups[it->second][static_cast<std::size_t>(k - lo)] = a;
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+BlockTrace collect_block_trace(const DeviceSpec& spec,
+                               const std::vector<LaneTrace>& lanes) {
+  G80_CHECK(!lanes.empty());
+  const int ws = spec.warp_size;
+  const int num_warps = (static_cast<int>(lanes.size()) + ws - 1) / ws;
+
+  BlockTrace block;
+  block.warps.resize(num_warps);
+
+  // One texture cache per block approximates the per-SM cache shared by the
+  // blocks resident on an SM (they run the same kernel, so per-block
+  // hit rates are representative).
+  TextureCache tex_cache(spec);
+
+  for (int w = 0; w < num_warps; ++w) {
+    WarpTrace& wt = block.warps[w];
+    const int lo = w * ws;
+    const int hi = std::min<int>(lo + ws, static_cast<int>(lanes.size()));
+
+    // --- Instruction counts: per-class max over lanes (exact when the warp
+    // is divergence-free; see lane_trace.h). ---
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+      std::uint64_t mx = 0;
+      for (int k = lo; k < hi; ++k)
+        mx = std::max(mx, lanes[k].ops.counts[c]);
+      wt.ops.counts[c] = mx;
+    }
+    for (int k = lo; k < hi; ++k) wt.lane_flops += lanes[k].flops;
+
+    // --- Branch divergence: group outcomes by (site, occurrence) ---
+    {
+      std::unordered_map<InstKey, std::pair<bool, bool>, InstKeyHash> seen;
+      std::vector<InstKey> order;
+      std::unordered_map<std::uint32_t, std::uint32_t> occurrence;
+      for (int k = lo; k < hi; ++k) {
+        occurrence.clear();
+        for (const BranchEvent& b : lanes[k].branches) {
+          const InstKey key{b.site, occurrence[b.site]++};
+          auto [it, inserted] = seen.emplace(key, std::pair{false, false});
+          if (inserted) order.push_back(key);
+          (b.taken ? it->second.first : it->second.second) = true;
+        }
+      }
+      wt.branches += order.size();
+      for (const auto& key : order) {
+        const auto& [taken, not_taken] = seen.at(key);
+        if (taken && not_taken) ++wt.divergent_branches;
+      }
+    }
+
+    // --- Global memory: coalescing per warp-level instruction ---
+    for (const WarpAccess& acc : group_warp_instructions(
+             lanes, lo, hi, &LaneTrace::global, ws)) {
+      const auto res = analyze_warp(spec, acc);
+      ++wt.global_instructions;
+      wt.global.transactions += static_cast<std::uint64_t>(res.transactions);
+      wt.global.bytes += res.dram_bytes;
+      wt.global.scattered_bytes += res.scattered_bytes;
+      wt.useful_global_bytes += res.useful_bytes;
+      if (res.coalesced) ++wt.coalesced_instructions;
+    }
+
+    // --- Shared memory: bank conflicts ---
+    for (const WarpAccess& acc : group_warp_instructions(
+             lanes, lo, hi, &LaneTrace::shared, ws)) {
+      const auto cost = analyze_shared_warp(spec, acc);
+      wt.shared_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
+    }
+
+    // --- Constant memory: broadcast vs serialization ---
+    for (const WarpAccess& acc : group_warp_instructions(
+             lanes, lo, hi, &LaneTrace::constant, ws)) {
+      const auto cost = analyze_const_warp(spec, acc);
+      wt.const_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
+    }
+
+    // --- Texture: run the cache in warp-instruction order; misses behave
+    // like latency-bound scattered DRAM transactions of one cache line. ---
+    for (const WarpAccess& acc : group_warp_instructions(
+             lanes, lo, hi, &LaneTrace::texture, ws)) {
+      std::uint64_t misses_this_inst = 0;
+      for (const MemAccess& a : acc) {
+        if (!a.active) continue;
+        if (tex_cache.access(a.addr)) {
+          ++wt.texture_hits;
+        } else {
+          ++wt.texture_misses;
+          ++misses_this_inst;
+        }
+      }
+      if (misses_this_inst > 0) {
+        wt.global_instructions += 1;
+        wt.global.transactions += misses_this_inst;
+        const std::uint64_t b = misses_this_inst * spec.texture_cache_line;
+        wt.global.bytes += b;
+        wt.global.scattered_bytes += b;
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace g80

@@ -1,0 +1,18 @@
+// Aggregates per-lane traces of one block into warp-level traces:
+// reconstructs each warp-level memory instruction from the lanes' k-th
+// accesses, runs the coalescing / bank-conflict / constant-broadcast
+// analyzers, simulates the texture cache, and detects branch divergence.
+#pragma once
+
+#include <vector>
+
+#include "cudalite/lane_trace.h"
+#include "hw/device_spec.h"
+#include "timing/trace.h"
+
+namespace g80 {
+
+BlockTrace collect_block_trace(const DeviceSpec& spec,
+                               const std::vector<LaneTrace>& lanes);
+
+}  // namespace g80

@@ -1,0 +1,113 @@
+#include "exec/block_runner.h"
+
+#include <algorithm>
+
+namespace g80 {
+
+SharedArena::SharedArena(std::size_t capacity_bytes) : storage_(capacity_bytes) {}
+
+void SharedArena::begin_block() {
+  layout_.clear();
+  layout_end_ = 0;
+  std::fill(cursor_.begin(), cursor_.end(), 0);
+}
+
+void SharedArena::begin_thread(int tid) {
+  if (static_cast<std::size_t>(tid) >= cursor_.size())
+    cursor_.resize(tid + 1, 0);
+  cursor_[tid] = 0;
+}
+
+std::byte* SharedArena::allocate(int tid, std::size_t bytes) {
+  constexpr std::size_t kAlign = 16;
+  const std::size_t idx = cursor_.at(tid)++;
+  if (idx < layout_.size()) {
+    // A previous thread already defined this slot; sizes must agree.
+    G80_CHECK_MSG(layout_[idx].second == bytes,
+                  "thread " << tid << " shared allocation #" << idx << " of "
+                            << bytes << " B mismatches block layout of "
+                            << layout_[idx].second << " B");
+    return storage_.data() + layout_[idx].first;
+  }
+  G80_CHECK_MSG(idx == layout_.size(), "non-sequential shared allocation");
+  const std::size_t offset = (layout_end_ + kAlign - 1) / kAlign * kAlign;
+  G80_CHECK_MSG(offset + bytes <= storage_.size(),
+                "shared memory overflow: " << offset + bytes << " B > "
+                                           << storage_.size() << " B arena");
+  layout_.emplace_back(offset, bytes);
+  layout_end_ = offset + bytes;
+  return storage_.data() + offset;
+}
+
+BlockRunner::BlockRunner(int max_threads, std::size_t smem_capacity,
+                         std::size_t stack_bytes)
+    : stack_bytes_(stack_bytes), shared_(smem_capacity) {
+  fibers_.reserve(max_threads);
+  status_.reserve(max_threads);
+}
+
+void BlockRunner::sync(int tid) {
+  G80_CHECK_MSG(!direct_mode_,
+                "__syncthreads called in a launch declared barrier-free "
+                "(LaunchOptions::uses_sync == false)");
+  status_.at(tid) = ThreadStatus::kAtBarrier;
+  fibers_[tid]->yield();
+  // Resumed: the barrier released.
+  status_[tid] = ThreadStatus::kRunning;
+}
+
+void BlockRunner::run_direct(int num_threads,
+                             const std::function<void(int)>& body) {
+  G80_CHECK(num_threads > 0);
+  direct_mode_ = true;
+  shared_.begin_block();
+  barriers_executed_ = 0;
+  for (int t = 0; t < num_threads; ++t) {
+    shared_.begin_thread(t);
+    body(t);
+  }
+  direct_mode_ = false;
+}
+
+void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
+  G80_CHECK(num_threads > 0);
+  direct_mode_ = false;
+  while (static_cast<int>(fibers_.size()) < num_threads)
+    fibers_.push_back(std::make_unique<Fiber>(stack_bytes_));
+  status_.assign(num_threads, ThreadStatus::kRunning);
+  shared_.begin_block();
+  barriers_executed_ = 0;
+
+  for (int t = 0; t < num_threads; ++t) {
+    shared_.begin_thread(t);
+    fibers_[t]->start([this, t, &body] { body(t); });
+  }
+
+  int live = num_threads;
+  while (live > 0) {
+    // One scheduling pass: advance every thread that is not done and not
+    // already parked at the (unreleased) barrier.
+    for (int t = 0; t < num_threads; ++t) {
+      if (status_[t] != ThreadStatus::kRunning) continue;
+      const Fiber::State st = fibers_[t]->resume();
+      if (st == Fiber::State::kDone) {
+        status_[t] = ThreadStatus::kDone;
+        --live;
+      }
+      // kSuspended means sync() parked it; status_ already kAtBarrier.
+    }
+    if (live == 0) break;
+
+    // After a pass every live thread is parked at the barrier (a pass only
+    // ends a thread Done or AtBarrier), so the barrier releases.  Threads
+    // that already exited no longer participate — the behaviour observed on
+    // the real hardware (CUDA leaves a barrier reached by a strict subset
+    // undefined; G80 barriers count only active threads).
+    ++barriers_executed_;
+    for (int t = 0; t < num_threads; ++t)
+      if (status_[t] == ThreadStatus::kAtBarrier)
+        status_[t] = ThreadStatus::kRunning;
+  }
+}
+
+}  // namespace g80

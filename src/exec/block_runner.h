@@ -1,0 +1,81 @@
+// Executes one thread block: N cooperative threads with CUDA barrier
+// semantics and a per-block shared-memory arena.
+//
+// Threads run in thread-index order between barriers; at a __syncthreads()
+// every still-live thread must arrive before any proceeds.  Threads that
+// exited no longer participate in barriers — matching the G80's observed
+// behaviour (barriers count only active threads; CUDA formally leaves a
+// barrier reached by a strict subset of threads undefined).  Deadlock is
+// impossible under this scheduler.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "exec/fiber.h"
+
+namespace g80 {
+
+// Per-block shared memory arena.  All threads of a block must perform the
+// same sequence of allocations (mirroring CUDA's static __shared__ layout);
+// the first thread defines the layout, later threads are checked against it.
+class SharedArena {
+ public:
+  explicit SharedArena(std::size_t capacity_bytes);
+
+  // Allocation `index`-th request of `bytes` for thread `tid`; returns the
+  // arena offset.  alignment is 16 bytes (float4).
+  std::byte* allocate(int tid, std::size_t bytes);
+
+  void begin_block();                 // reset layout + cursors for a new block
+  void begin_thread(int tid);         // reset tid's allocation cursor
+  std::size_t bytes_used() const { return layout_end_; }
+  std::size_t capacity() const { return storage_.size(); }
+  std::byte* data() { return storage_.data(); }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::vector<std::pair<std::size_t, std::size_t>> layout_;  // (offset, size)
+  std::size_t layout_end_ = 0;
+  std::vector<std::size_t> cursor_;  // per-thread next allocation index
+};
+
+class BlockRunner {
+ public:
+  // `max_threads` bounds the fiber pool; `smem_capacity` is the SM's shared
+  // memory size (a block exceeding it fails at launch, not here).
+  BlockRunner(int max_threads, std::size_t smem_capacity,
+              std::size_t stack_bytes = 128 * 1024);
+
+  // Run `num_threads` threads, each executing body(tid).  Bodies may call
+  // sync(tid) any number of times.
+  void run(int num_threads, const std::function<void(int)>& body);
+
+  // Fast path for kernels that never call __syncthreads: runs thread bodies
+  // to completion on the caller's stack (no fibers).  sync() throws if the
+  // kernel lied about being barrier-free.
+  void run_direct(int num_threads, const std::function<void(int)>& body);
+
+  // Barrier entry point, called from inside a thread body.
+  void sync(int tid);
+
+  SharedArena& shared() { return shared_; }
+
+  // Number of barrier generations completed in the last run (for tracing).
+  int barriers_executed() const { return barriers_executed_; }
+
+ private:
+  enum class ThreadStatus { kRunning, kAtBarrier, kDone };
+
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<ThreadStatus> status_;
+  SharedArena shared_;
+  int barriers_executed_ = 0;
+  bool direct_mode_ = false;
+};
+
+}  // namespace g80

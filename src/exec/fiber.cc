@@ -1,0 +1,70 @@
+#include "exec/fiber.h"
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace g80 {
+
+Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {
+  G80_CHECK(stack_bytes >= 16 * 1024);
+}
+
+void Fiber::start(std::function<void()> body) {
+  // Re-arming is allowed from ANY state: after a sibling thread throws, a
+  // launch is abandoned with fibers left kRunnable (armed, never entered) or
+  // kSuspended (parked mid-kernel).  Both are re-armed from scratch; old
+  // stack frames are discarded without unwinding (locals leak), which is
+  // acceptable in this fail-fast simulator.  The scheduler never calls
+  // start() from inside a fiber, so the stack being rebuilt is never live.
+  body_ = std::move(body);
+  pending_exception_ = nullptr;
+
+  G80_CHECK(getcontext(&context_) == 0);
+  context_.uc_stack.ss_sp = stack_.data();
+  context_.uc_stack.ss_size = stack_.size();
+  context_.uc_link = &return_context_;
+
+  // makecontext only passes ints; split the pointer across two.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  const auto hi = static_cast<unsigned>(self >> 32);
+  const auto lo = static_cast<unsigned>(self & 0xFFFFFFFFu);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2, hi, lo);
+  state_ = State::kRunnable;
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self = (static_cast<std::uintptr_t>(hi) << 32) |
+                    static_cast<std::uintptr_t>(lo);
+  reinterpret_cast<Fiber*>(self)->run_body();
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (...) {
+    pending_exception_ = std::current_exception();
+  }
+  state_ = State::kDone;
+  // Falling off the trampoline returns via uc_link to return_context_.
+}
+
+Fiber::State Fiber::resume() {
+  G80_CHECK_MSG(state_ == State::kRunnable || state_ == State::kSuspended,
+                "resume of a fiber that is not paused");
+  state_ = State::kRunnable;
+  G80_CHECK(swapcontext(&return_context_, &context_) == 0);
+  if (pending_exception_) {
+    auto ex = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+  return state_;
+}
+
+void Fiber::yield() {
+  state_ = State::kSuspended;
+  G80_CHECK(swapcontext(&context_, &return_context_) == 0);
+}
+
+}  // namespace g80

@@ -1,0 +1,54 @@
+// Cooperative fibers (ucontext-based) used to give every simulated GPU
+// thread its own stack, so kernels can call __syncthreads() from arbitrary
+// points — inside loops, between shared-memory phases — exactly like CUDA.
+//
+// Fibers only yield at explicit suspension points (barriers), so a block's
+// threads otherwise run to completion in-order; functional results are
+// deterministic.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace g80 {
+
+class Fiber {
+ public:
+  enum class State { kIdle, kRunnable, kSuspended, kDone };
+
+  explicit Fiber(std::size_t stack_bytes = 128 * 1024);
+  ~Fiber() = default;
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // (Re)arm the fiber with a new body; reuses the stack.
+  void start(std::function<void()> body);
+
+  // Switch into the fiber until it yields or finishes.  Returns the state it
+  // ended in (kSuspended or kDone).  If the body threw, the exception is
+  // rethrown here on the scheduler's stack.
+  State resume();
+
+  // Called from inside the fiber body: suspend back to the scheduler.
+  void yield();
+
+  State state() const { return state_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_body();
+
+  std::vector<char> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  std::function<void()> body_;
+  std::exception_ptr pending_exception_;
+  State state_ = State::kIdle;
+};
+
+}  // namespace g80

@@ -1,0 +1,53 @@
+#include "hw/device_spec.h"
+
+namespace g80 {
+
+double DeviceSpec::peak_mad_gflops() const {
+  return total_sps() * 2.0 * core_clock_ghz;
+}
+
+double DeviceSpec::peak_gflops_with_sfu() const {
+  // Each SM: 8 SPs * 2 flops (MAD) + 2 extra from SFU-issued MULs = 18
+  // FLOPS/cycle, matching the paper's 388.8 GFLOPS figure.
+  const double flops_per_sm_cycle =
+      sps_per_sm * 2.0 + sfus_per_sm * 1.0;
+  return num_sms * flops_per_sm_cycle * core_clock_ghz;
+}
+
+double DeviceSpec::warp_issue_cycles() const {
+  return static_cast<double>(warp_size) / sps_per_sm;
+}
+
+double DeviceSpec::sfu_issue_cycles() const {
+  return static_cast<double>(warp_size) / sfus_per_sm;
+}
+
+double DeviceSpec::dram_bytes_per_cycle() const {
+  return dram_bandwidth_gbs / core_clock_ghz;
+}
+
+DeviceSpec DeviceSpec::geforce_8800_gtx() {
+  DeviceSpec s;
+  s.name = "GeForce 8800 GTX";
+  return s;  // defaults are the GTX
+}
+
+DeviceSpec DeviceSpec::geforce_8800_ultra() {
+  DeviceSpec s = geforce_8800_gtx();
+  s.name = "GeForce 8800 Ultra";
+  s.core_clock_ghz = 1.5;
+  s.dram_bandwidth_gbs = 103.7;
+  return s;
+}
+
+DeviceSpec DeviceSpec::geforce_8800_gts() {
+  DeviceSpec s = geforce_8800_gtx();
+  s.name = "GeForce 8800 GTS";
+  s.num_sms = 12;
+  s.core_clock_ghz = 1.2;
+  s.dram_bandwidth_gbs = 64.0;
+  s.global_mem_bytes = 640ull << 20;
+  return s;
+}
+
+}  // namespace g80

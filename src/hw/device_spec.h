@@ -1,0 +1,98 @@
+// Architectural description of the simulated device.
+//
+// Every number the paper quotes for the GeForce 8800 GTX appears here as a
+// named field; the timing model and occupancy calculator consume only this
+// struct, so alternative devices (Ultra, GTS) are one factory function away
+// and drive the scalability ablations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace g80 {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- Execution resources (paper §3.2) ---
+  int num_sms = 16;          // streaming multiprocessors
+  int sps_per_sm = 8;        // streaming processors (cores) per SM
+  int sfus_per_sm = 2;       // special function units per SM
+  double core_clock_ghz = 1.35;
+
+  // --- Per-SM schedulable resources (paper §3.2) ---
+  int registers_per_sm = 8192;             // 32-bit registers, dynamically partitioned
+  std::size_t shared_mem_per_sm = 16 * 1024;  // bytes
+  int max_threads_per_sm = 768;            // simultaneously active thread contexts
+  int max_blocks_per_sm = 8;               // resident thread blocks
+  int warp_size = 32;
+  int max_threads_per_block = 512;
+  int max_grid_dim = 65535;                // 2^16 - 1 blocks per grid dimension
+  // Register allocation granularity per block (G80 allocates in chunks).
+  int register_alloc_unit = 256;
+
+  // --- Memory system (paper §3.2, Table 1) ---
+  double dram_bandwidth_gbs = 86.4;        // GB/s peak off-chip bandwidth
+  std::size_t global_mem_bytes = 768ull << 20;
+  int shared_mem_banks = 16;
+  int coalesce_segment_words = 16;         // contiguous 16-word lines coalesce
+  std::size_t dram_transaction_bytes = 32; // minimum DRAM transaction size
+  // Latency of a global load in core cycles.  The paper quotes "hundreds of
+  // cycles"; 420 reproduces its matmul results (see EXPERIMENTS.md).
+  double global_latency_cycles = 420.0;
+  // Efficiency factor applied to peak DRAM bandwidth for perfectly coalesced
+  // streams (row activation, refresh, read/write turnaround).
+  double dram_efficiency = 0.82;
+  // Effective fraction of peak bandwidth achieved by scattered 32 B
+  // transactions (row misses on nearly every access).  Together with the
+  // coalescing rule this reproduces the paper's "fraction of the maximum"
+  // penalty for non-contiguous access (§3.2).
+  double dram_scattered_efficiency = 0.30;
+  // Minimum spacing between memory requests an SM can issue to the memory
+  // pipeline (bounds memory-level parallelism; Hong/Kim-style MWP).
+  double mem_issue_interval_cycles = 10.0;
+  // Issue-pipeline occupancy per DRAM transaction beyond the two a coalesced
+  // warp access needs: an uncoalesced access serializes its 16-per-half-warp
+  // transactions through the SM's memory port, which is the dominant cost of
+  // breaking the §3.2 rule when bandwidth itself is not saturated.
+  double uncoalesced_issue_cycles_per_txn = 4.0;
+  // Device-wide DRAM command throughput (transactions per core cycle across
+  // all memory partitions).  Caps fragmented streams even when their unique
+  // bytes are few: 16 same-address lane requests still occupy 16 command
+  // slots.
+  double dram_transactions_per_cycle = 4.0;
+  // Fixed host-side cost per kernel launch (driver + command buffer), in
+  // microseconds.  Dominates time-sliced kernels relaunched every step.
+  double launch_overhead_us = 15.0;
+  double shared_latency_cycles = 2.0;      // register-speed per the paper
+  std::size_t constant_cache_bytes = 8 * 1024;   // per SM
+  std::size_t texture_cache_bytes = 8 * 1024;    // per SM
+  std::size_t texture_cache_line = 32;
+  double texture_hit_latency_cycles = 20.0;
+
+  // --- Host link (CPU<->GPU transfers, paper Table 3) ---
+  double pcie_bandwidth_gbs = 3.2;         // effective PCIe x16 gen1
+  double pcie_latency_us = 15.0;           // per-transfer fixed cost
+
+  // --- Derived quantities ---
+  int total_sps() const { return num_sms * sps_per_sm; }
+  int max_warps_per_sm() const { return max_threads_per_sm / warp_size; }
+  int max_active_threads() const { return num_sms * max_threads_per_sm; }
+  // 128 SPs * 2 flops (multiply-add) * 1.35 GHz = 345.6 GFLOPS (paper §1).
+  double peak_mad_gflops() const;
+  // 16 SMs * 18 FLOPS/SM-cycle * 1.35 GHz = 388.8 GFLOPS incl. SFU (paper §3.2).
+  double peak_gflops_with_sfu() const;
+  // Cycles for one SM to issue one instruction for a full warp: 32 lanes
+  // through `sps_per_sm` cores = 4 cycles on the GTX.
+  double warp_issue_cycles() const;
+  // Same for SFU instructions: 32 lanes / 2 SFUs = 16 cycles.
+  double sfu_issue_cycles() const;
+  // Peak DRAM bytes per core cycle across the device.
+  double dram_bytes_per_cycle() const;
+
+  static DeviceSpec geforce_8800_gtx();
+  static DeviceSpec geforce_8800_ultra();  // higher clocks, same topology
+  static DeviceSpec geforce_8800_gts();    // 12 SMs, narrower bus
+};
+
+}  // namespace g80

@@ -1,0 +1,77 @@
+#include "hw/isa.h"
+
+#include "common/error.h"
+
+namespace g80 {
+
+std::string_view op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kFMad: return "fmad";
+    case OpClass::kFAdd: return "fadd";
+    case OpClass::kFMul: return "fmul";
+    case OpClass::kFCmp: return "fcmp";
+    case OpClass::kIAlu: return "ialu";
+    case OpClass::kIMul: return "imul";
+    case OpClass::kSfu: return "sfu";
+    case OpClass::kLoadGlobal: return "ld.global";
+    case OpClass::kStoreGlobal: return "st.global";
+    case OpClass::kLoadShared: return "ld.shared";
+    case OpClass::kStoreShared: return "st.shared";
+    case OpClass::kLoadConst: return "ld.const";
+    case OpClass::kLoadTexture: return "tex";
+    case OpClass::kSync: return "bar.sync";
+    case OpClass::kBranch: return "bra";
+    case OpClass::kMisc: return "misc";
+    case OpClass::kCount: break;
+  }
+  G80_CHECK(false);
+}
+
+double flops_per_lane(OpClass c) {
+  switch (c) {
+    case OpClass::kFMad: return 2.0;
+    case OpClass::kFAdd:
+    case OpClass::kFMul: return 1.0;
+    case OpClass::kSfu: return 1.0;  // one transcendental result per lane
+    default: return 0.0;
+  }
+}
+
+double issue_cycles(OpClass c, const DeviceSpec& spec) {
+  switch (c) {
+    case OpClass::kSfu:
+      return spec.sfu_issue_cycles();
+    case OpClass::kIMul:
+      // 24-bit multiplier: 32-bit integer multiply is microcoded (~4 SP ops).
+      return 4.0 * spec.warp_issue_cycles();
+    default:
+      return spec.warp_issue_cycles();
+  }
+}
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  for (std::size_t i = 0; i < kNumOpClasses; ++i) counts[i] += o.counts[i];
+  return *this;
+}
+
+std::uint64_t OpCounts::total() const {
+  std::uint64_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+double OpCounts::flops() const {
+  double f = 0.0;
+  for (std::size_t i = 0; i < kNumOpClasses; ++i)
+    f += flops_per_lane(static_cast<OpClass>(i)) * static_cast<double>(counts[i]);
+  return f;
+}
+
+double OpCounts::warp_issue_cycles(const DeviceSpec& spec) const {
+  double cyc = 0.0;
+  for (std::size_t i = 0; i < kNumOpClasses; ++i)
+    cyc += issue_cycles(static_cast<OpClass>(i), spec) * static_cast<double>(counts[i]);
+  return cyc;
+}
+
+}  // namespace g80

@@ -1,0 +1,24 @@
+// Memory-access records shared by the coalescing and bank-conflict analyzers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace g80 {
+
+struct MemAccess {
+  std::uint64_t addr = 0;  // byte address in the relevant address space
+  std::uint32_t size = 4;  // access width in bytes (4, 8 or 16 on G80)
+  // Static instruction identity (hash of the source location of the ld/st
+  // call).  Lanes' accesses are grouped into warp-level instructions by
+  // (site, per-lane occurrence), which stays correct even when divergent
+  // lanes execute different numbers of accesses.
+  std::uint32_t site = 0;
+  bool active = false;     // lane predicated on?
+};
+
+// One warp's simultaneous accesses for a single static instruction:
+// `lanes[i]` is lane i's access (inactive lanes have active=false).
+using WarpAccess = std::vector<MemAccess>;
+
+}  // namespace g80

@@ -1,0 +1,60 @@
+#include "mem/bank_conflict.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace g80 {
+
+BankConflictResult analyze_shared_half_warp(const DeviceSpec& spec,
+                                            const MemAccess* lanes,
+                                            int lane_count) {
+  const int hw = spec.warp_size / 2;
+  lane_count = std::min(lane_count, hw);
+  const int banks = spec.shared_mem_banks;
+
+  // Distinct words touched per bank.
+  std::vector<std::set<std::uint64_t>> words(static_cast<std::size_t>(banks));
+  std::set<std::uint64_t> all_words;
+  int active = 0;
+  for (int k = 0; k < lane_count; ++k) {
+    if (!lanes[k].active) continue;
+    ++active;
+    // Multi-word accesses (e.g. float2/float4) touch consecutive banks.
+    for (std::uint32_t off = 0; off < lanes[k].size; off += 4) {
+      const std::uint64_t word = (lanes[k].addr + off) / 4;
+      words[word % banks].insert(word);
+      all_words.insert(word);
+    }
+  }
+
+  BankConflictResult r;
+  if (active == 0) return r;
+  if (all_words.size() == 1) {
+    r.broadcast = true;
+    r.serialization = 1;
+    return r;
+  }
+  int worst = 1;
+  for (const auto& w : words)
+    worst = std::max(worst, static_cast<int>(w.size()));
+  r.serialization = worst;
+  return r;
+}
+
+WarpBankCost analyze_shared_warp(const DeviceSpec& spec, const WarpAccess& warp) {
+  const int hw = spec.warp_size / 2;
+  WarpBankCost cost;
+  for (std::size_t lo = 0; lo < warp.size(); lo += hw) {
+    const int n = static_cast<int>(std::min<std::size_t>(hw, warp.size() - lo));
+    bool any_active = false;
+    for (int k = 0; k < n; ++k) any_active |= warp[lo + k].active;
+    if (!any_active) continue;
+    const auto half = analyze_shared_half_warp(spec, warp.data() + lo, n);
+    cost.passes += half.serialization;
+    cost.extra_passes += half.serialization - 1;
+  }
+  return cost;
+}
+
+}  // namespace g80

@@ -1,0 +1,35 @@
+// Shared-memory bank-conflict analyzer.
+//
+// G80 shared memory has 16 banks, word-interleaved (bank = (addr/4) % 16).
+// A half-warp's shared access completes in one cycle unless two or more
+// lanes touch *different words* in the same bank, in which case the access
+// serializes by the maximum per-bank degree.  All lanes reading the same
+// word broadcast with no conflict (paper §5.2: "Care must be taken so that
+// threads in the same warp access different banks").
+#pragma once
+
+#include "hw/device_spec.h"
+#include "mem/access.h"
+
+namespace g80 {
+
+struct BankConflictResult {
+  // Number of serialized passes for the half-warp (1 == conflict-free).
+  int serialization = 1;
+  bool broadcast = false;  // all active lanes hit one word
+};
+
+BankConflictResult analyze_shared_half_warp(const DeviceSpec& spec,
+                                            const MemAccess* lanes,
+                                            int lane_count);
+
+// Full warp = two half-warps; returns the summed extra passes
+// (total passes - number of half-warps that issued).
+struct WarpBankCost {
+  int passes = 0;        // total serialized passes across both half-warps
+  int extra_passes = 0;  // passes beyond the conflict-free minimum
+};
+
+WarpBankCost analyze_shared_warp(const DeviceSpec& spec, const WarpAccess& warp);
+
+}  // namespace g80

@@ -1,0 +1,45 @@
+// Global-memory coalescing analyzer implementing the G80 (compute 1.0/1.1)
+// half-warp rule the paper's principle "reorder accesses to off-chip memory
+// to combine requests to the same or contiguous memory locations" refers to.
+//
+// Rule (per half-warp of 16 lanes):
+//   the access is COALESCED into one transaction iff every active lane k
+//   accesses a `size`-byte word at base + k*size, with base aligned to
+//   16*size bytes (a "16-word line", §3.2).  Inactive lanes leave holes but
+//   do not break coalescing.  Otherwise the half-warp is serialized into one
+//   transaction per active lane.
+//
+// Each transaction moves at least `dram_transaction_bytes` (32 B) from DRAM,
+// which is how an uncoalesced stream wastes most of the 86.4 GB/s.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/device_spec.h"
+#include "mem/access.h"
+
+namespace g80 {
+
+struct CoalesceResult {
+  int transactions = 0;             // DRAM requests issued
+  std::uint64_t dram_bytes = 0;     // bytes actually moved (>= useful bytes)
+  std::uint64_t scattered_bytes = 0;  // subset moved by serialized accesses
+  std::uint64_t useful_bytes = 0;   // bytes the program asked for
+  bool coalesced = false;           // single-transaction half-warps only
+
+  CoalesceResult& operator+=(const CoalesceResult& o);
+  // dram_bytes / useful_bytes; 1.0 is perfect, 8.0 means 4-byte loads each
+  // dragging a 32-byte transaction.
+  double overfetch() const;
+};
+
+// Analyze one half-warp (up to 16 lanes).  `lanes` beyond the half-warp size
+// are ignored.
+CoalesceResult analyze_half_warp(const DeviceSpec& spec, const MemAccess* lanes,
+                                 int lane_count);
+
+// Analyze a full warp as two independent half-warps (G80 issues memory
+// per half-warp).
+CoalesceResult analyze_warp(const DeviceSpec& spec, const WarpAccess& warp);
+
+}  // namespace g80

@@ -1,0 +1,30 @@
+// Constant-memory model.
+//
+// G80 constant memory is a small cached read-only space whose cache serves a
+// half-warp in one cycle *if all active lanes read the same address*
+// (broadcast); distinct addresses serialize, one cache access per distinct
+// address.  The MRI and CP kernels in the paper lean heavily on broadcast
+// constant reads for their sample-parameter arrays.
+#pragma once
+
+#include "hw/device_spec.h"
+#include "mem/access.h"
+
+namespace g80 {
+
+struct ConstAccessResult {
+  int serialization = 1;  // distinct-address passes for the half-warp
+  bool broadcast = false;
+};
+
+ConstAccessResult analyze_const_half_warp(const DeviceSpec& spec,
+                                          const MemAccess* lanes, int lane_count);
+
+struct WarpConstCost {
+  int passes = 0;
+  int extra_passes = 0;
+};
+
+WarpConstCost analyze_const_warp(const DeviceSpec& spec, const WarpAccess& warp);
+
+}  // namespace g80

@@ -1,0 +1,33 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+namespace g80 {
+
+double DramModel::effective_bandwidth_gbs() const {
+  return spec_.dram_bandwidth_gbs * spec_.dram_efficiency;
+}
+
+double DramModel::effective_scattered_bandwidth_gbs() const {
+  return spec_.dram_bandwidth_gbs * spec_.dram_scattered_efficiency;
+}
+
+double DramModel::bandwidth_cycles(const DramTraffic& traffic) const {
+  const double bpc_seq = effective_bandwidth_gbs() / spec_.core_clock_ghz;
+  const double bpc_rnd = effective_scattered_bandwidth_gbs() / spec_.core_clock_ghz;
+  const double byte_cycles =
+      static_cast<double>(traffic.coalesced_bytes()) / bpc_seq +
+      static_cast<double>(traffic.scattered_bytes) / bpc_rnd;
+  const double command_cycles = static_cast<double>(traffic.transactions) /
+                                spec_.dram_transactions_per_cycle;
+  return std::max(byte_cycles, command_cycles);
+}
+
+double DramModel::departure_delay_cycles() const {
+  // At saturation one minimum-size transaction completes every
+  // (transaction bytes / bytes-per-cycle) cycles, device-wide.
+  const double bpc = effective_bandwidth_gbs() / spec_.core_clock_ghz;
+  return static_cast<double>(spec_.dram_transaction_bytes) / bpc;
+}
+
+}  // namespace g80

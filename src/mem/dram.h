@@ -1,0 +1,55 @@
+// DRAM service model: converts transaction counts and byte totals into
+// cycles, and provides the bandwidth floor the paper uses ("bandwidth can
+// saturate if many threads request access within a short period of time").
+//
+// Coalesced (16-word-line) traffic streams near peak efficiency; scattered
+// transactions pay DRAM row misses and achieve a much lower fraction of the
+// 86.4 GB/s — this is the mechanism behind the paper's insistence on
+// "contiguous 16-word lines; in other cases the achievable bandwidth is a
+// fraction of the maximum" (§3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/device_spec.h"
+
+namespace g80 {
+
+struct DramTraffic {
+  std::uint64_t transactions = 0;
+  std::uint64_t bytes = 0;            // all bytes moved over the pins
+  std::uint64_t scattered_bytes = 0;  // subset from uncoalesced accesses
+
+  std::uint64_t coalesced_bytes() const { return bytes - scattered_bytes; }
+
+  DramTraffic& operator+=(const DramTraffic& o) {
+    transactions += o.transactions;
+    bytes += o.bytes;
+    scattered_bytes += o.scattered_bytes;
+    return *this;
+  }
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  // Minimum core cycles to move `traffic`: the larger of the byte cost
+  // (coalesced and scattered bytes at their respective effective bandwidths)
+  // and the command cost (transactions through the partitions' command
+  // rate — what fragmented same-row streams pay).
+  double bandwidth_cycles(const DramTraffic& traffic) const;
+
+  // Average cycles between consecutive transaction completions when the
+  // memory system is saturated (the Hong/Kim "departure delay").
+  double departure_delay_cycles() const;
+
+  // Effective sustained bandwidths in GB/s.
+  double effective_bandwidth_gbs() const;            // coalesced streams
+  double effective_scattered_bandwidth_gbs() const;  // random 32 B requests
+
+ private:
+  const DeviceSpec& spec_;
+};
+
+}  // namespace g80

@@ -1,0 +1,89 @@
+#include "occupancy/occupancy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace g80 {
+
+std::string_view occupancy_limit_name(OccupancyLimit l) {
+  switch (l) {
+    case OccupancyLimit::kThreads: return "threads/SM";
+    case OccupancyLimit::kBlocks: return "blocks/SM";
+    case OccupancyLimit::kRegisters: return "registers";
+    case OccupancyLimit::kSharedMem: return "shared memory";
+    case OccupancyLimit::kBlockTooBig: return "block exceeds hardware limit";
+  }
+  G80_CHECK(false);
+}
+
+double Occupancy::fraction(const DeviceSpec& spec) const {
+  return static_cast<double>(active_threads_per_sm) / spec.max_threads_per_sm;
+}
+
+int Occupancy::max_simultaneous_threads(const DeviceSpec& spec) const {
+  return active_threads_per_sm * spec.num_sms;
+}
+
+Occupancy compute_occupancy(const DeviceSpec& spec, const KernelResources& res) {
+  G80_CHECK_MSG(res.threads_per_block > 0, "empty thread block");
+  G80_CHECK_MSG(res.regs_per_thread >= 0, "negative register count");
+
+  if (res.threads_per_block > spec.max_threads_per_block ||
+      res.smem_per_block > spec.shared_mem_per_sm ||
+      static_cast<long long>(res.regs_per_thread) * res.threads_per_block >
+          spec.registers_per_sm) {
+    throw Error("kernel configuration cannot run: a single block exceeds a "
+                "per-SM hardware limit");
+  }
+
+  // Candidate block counts under each independent constraint.  Thread
+  // contexts are allocated in whole warps, so a 144-thread block (12x12
+  // tiles) consumes 5 warps of the 24 available (§4.2: "144 threads, which
+  // is also not an integral number of warps").
+  const int warps_per_block =
+      (res.threads_per_block + spec.warp_size - 1) / spec.warp_size;
+  const int by_threads = spec.max_warps_per_sm() / warps_per_block;
+  const int by_blocks = spec.max_blocks_per_sm;
+
+  // Registers are allocated to a block in units of `register_alloc_unit`.
+  const long long regs_per_block_raw =
+      static_cast<long long>(res.regs_per_thread) * res.threads_per_block;
+  const long long unit = spec.register_alloc_unit;
+  const long long regs_per_block =
+      regs_per_block_raw == 0 ? 0 : ((regs_per_block_raw + unit - 1) / unit) * unit;
+  const int by_regs = regs_per_block == 0
+                          ? spec.max_blocks_per_sm
+                          : static_cast<int>(spec.registers_per_sm / regs_per_block);
+
+  const int by_smem =
+      res.smem_per_block == 0
+          ? spec.max_blocks_per_sm
+          : static_cast<int>(spec.shared_mem_per_sm / res.smem_per_block);
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::min({by_threads, by_blocks, by_regs, by_smem});
+  G80_CHECK(occ.blocks_per_sm >= 1);
+
+  // Report the binding constraint; ties resolve in this priority order,
+  // matching how the paper narrates limits (threads, then blocks, then
+  // registers, then shared memory).
+  if (occ.blocks_per_sm == by_threads) occ.limiter = OccupancyLimit::kThreads;
+  if (occ.blocks_per_sm == by_blocks && by_blocks < by_threads)
+    occ.limiter = OccupancyLimit::kBlocks;
+  if (occ.blocks_per_sm == by_regs && by_regs < std::min(by_threads, by_blocks))
+    occ.limiter = OccupancyLimit::kRegisters;
+  if (occ.blocks_per_sm == by_smem &&
+      by_smem < std::min({by_threads, by_blocks, by_regs}))
+    occ.limiter = OccupancyLimit::kSharedMem;
+
+  occ.active_threads_per_sm = occ.blocks_per_sm * res.threads_per_block;
+  // Warps are allocated whole; a 144-thread block (12x12 tiles, §4.2)
+  // occupies ceil(144/32) = 5 warps worth of scheduler slots.
+  occ.active_warps_per_sm =
+      occ.blocks_per_sm *
+      ((res.threads_per_block + spec.warp_size - 1) / spec.warp_size);
+  return occ;
+}
+
+}  // namespace g80

@@ -1,0 +1,52 @@
+// Occupancy calculator: the paper's principle 2 ("striking the right balance
+// between each thread's resource usage and the number of simultaneously
+// active threads") made executable.
+//
+// Given a kernel's per-thread register count, per-block shared memory and
+// block size, computes how many blocks are simultaneously resident per SM and
+// which resource is the binding constraint.  Reproduces the interactions the
+// paper walks through: 10 regs x 256 thr -> 3 blocks (768 threads, the max);
+// 11 regs x 256 thr -> register limit -> 2 blocks (§4.2, §4.4).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "hw/device_spec.h"
+
+namespace g80 {
+
+struct KernelResources {
+  int regs_per_thread = 10;
+  std::size_t smem_per_block = 0;  // bytes of software-managed shared memory
+  int threads_per_block = 256;
+};
+
+enum class OccupancyLimit {
+  kThreads,     // hit the 768-thread/SM context limit
+  kBlocks,      // hit the 8-block/SM limit
+  kRegisters,   // register file exhausted
+  kSharedMem,   // 16KB shared memory exhausted
+  kBlockTooBig, // single block exceeds a per-block hardware limit
+};
+
+std::string_view occupancy_limit_name(OccupancyLimit l);
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int active_threads_per_sm = 0;
+  int active_warps_per_sm = 0;
+  OccupancyLimit limiter = OccupancyLimit::kThreads;
+
+  // Fraction of the SM's maximum thread contexts in use (the CUDA
+  // occupancy-calculator definition).
+  double fraction(const DeviceSpec& spec) const;
+  // Device-wide simultaneously active threads (Table 3, column 2).
+  int max_simultaneous_threads(const DeviceSpec& spec) const;
+};
+
+// Throws g80::Error if the configuration can never run (e.g. a single block
+// needs more shared memory than an SM has).
+Occupancy compute_occupancy(const DeviceSpec& spec, const KernelResources& res);
+
+}  // namespace g80

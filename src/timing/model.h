@@ -1,0 +1,70 @@
+// Analytical SM/memory timing model.
+//
+// Implements the first-order performance analysis the paper itself performs
+// when explaining its measurements (potential throughput from instruction
+// mix, latency hiding from warp count, bandwidth saturation from coalesced
+// traffic), structured after Hong & Kim's MWP/CWP formulation.
+//
+// Inputs: the device spec, the kernel's occupancy, the grid size, and a
+// TraceSummary from sampled thread blocks.  Output: predicted kernel time,
+// achieved GFLOPS/bandwidth, and the binding bottleneck — the quantity
+// Table 3's "architectural bottleneck" column reports.
+#pragma once
+
+#include <string_view>
+
+#include "hw/device_spec.h"
+#include "occupancy/occupancy.h"
+#include "timing/trace.h"
+
+namespace g80 {
+
+enum class Bottleneck {
+  kInstructionIssue,   // SP issue slots saturated (good place to be)
+  kGlobalBandwidth,    // DRAM pins saturated
+  kGlobalLatency,      // not enough warps to hide latency (MWP < CWP)
+  kSynchronization,    // barrier stalls dominate (low block-level overlap)
+  kIdle,               // grid too small to fill the machine
+};
+
+std::string_view bottleneck_name(Bottleneck b);
+
+struct KernelTiming {
+  // Headline results.
+  double kernel_cycles = 0;
+  double seconds = 0;            // device execution time, excl. launch overhead
+  double gflops = 0;             // achieved, from traced lane-level flops
+  double dram_gbs = 0;           // achieved DRAM bandwidth
+  Bottleneck bottleneck = Bottleneck::kInstructionIssue;
+
+  // Model internals (exposed for the advisor, benches and tests).
+  double waves = 0;              // grid size / (blocks_per_SM x num_SMs)
+  double wave_cycles = 0;
+  double issue_floor_cycles = 0;     // compute/issue-bound wave time
+  double latency_bound_cycles = 0;   // memory-latency-bound wave time
+  double bandwidth_floor_cycles = 0; // DRAM-bound wave time
+  double sync_stall_cycles = 0;      // added barrier exposure per wave
+  double mwp = 0;                // memory warp parallelism
+  double cwp = 0;                // computation warp parallelism
+  double total_flops = 0;
+  double total_dram_bytes = 0;
+  // Ratio of global-memory cycles to computation cycles after shared memory
+  // and caches are used (Table 3, "GPU exec ratio" column analogue).
+  double mem_to_compute_ratio = 0;
+
+  Occupancy occupancy;
+};
+
+// `total_blocks` is the full grid size; the summary may come from a sampled
+// subset of blocks (results extrapolate linearly — grids are homogeneous in
+// this suite).
+KernelTiming simulate_kernel(const DeviceSpec& spec, const Occupancy& occ,
+                             std::uint64_t total_blocks,
+                             const TraceSummary& summary);
+
+// Host<->device transfer time over PCIe (paper Table 3's "CPU-GPU transfer
+// time" column): fixed per-call latency plus bytes at link bandwidth.
+double transfer_seconds(const DeviceSpec& spec, std::uint64_t bytes,
+                        std::uint64_t num_transfers);
+
+}  // namespace g80

@@ -1,0 +1,120 @@
+#include "timing/trace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace g80 {
+
+WarpTrace& WarpTrace::operator+=(const WarpTrace& o) {
+  ops += o.ops;
+  lane_flops += o.lane_flops;
+  global_instructions += o.global_instructions;
+  global += o.global;
+  useful_global_bytes += o.useful_global_bytes;
+  coalesced_instructions += o.coalesced_instructions;
+  shared_extra_passes += o.shared_extra_passes;
+  const_extra_passes += o.const_extra_passes;
+  texture_hits += o.texture_hits;
+  texture_misses += o.texture_misses;
+  branches += o.branches;
+  divergent_branches += o.divergent_branches;
+  return *this;
+}
+
+double WarpTrace::issue_cycles(const DeviceSpec& spec) const {
+  double cyc = ops.warp_issue_cycles(spec);
+  // Each extra shared-memory pass or constant-cache replay re-occupies the
+  // issue pipeline for one warp-instruction slot.
+  cyc += static_cast<double>(shared_extra_passes + const_extra_passes) *
+         spec.warp_issue_cycles();
+  // Uncoalesced global accesses serialize their per-lane transactions
+  // through the SM's memory port: charge every transaction beyond the two a
+  // coalesced warp access needs.
+  const double base_txns = 2.0 * static_cast<double>(global_instructions);
+  const double extra_txns =
+      std::max(0.0, static_cast<double>(global.transactions) - base_txns);
+  cyc += extra_txns * spec.uncoalesced_issue_cycles_per_txn;
+  return cyc;
+}
+
+WarpTrace BlockTrace::aggregate() const {
+  WarpTrace t;
+  for (const auto& w : warps) t += w;
+  return t;
+}
+
+TraceSummary TraceSummary::summarize(const std::vector<BlockTrace>& blocks) {
+  TraceSummary s;
+  s.num_blocks = blocks.size();
+  for (const auto& b : blocks) {
+    s.num_warps += b.warps.size();
+    s.total += b.aggregate();
+  }
+  return s;
+}
+
+double TraceSummary::warps_per_block() const {
+  return num_blocks == 0 ? 0.0
+                         : static_cast<double>(num_warps) /
+                               static_cast<double>(num_blocks);
+}
+
+double TraceSummary::mean_issue_cycles(const DeviceSpec& spec) const {
+  G80_CHECK(num_warps > 0);
+  return total.issue_cycles(spec) / static_cast<double>(num_warps);
+}
+
+double TraceSummary::mean_global_instructions() const {
+  G80_CHECK(num_warps > 0);
+  return static_cast<double>(total.global_instructions) /
+         static_cast<double>(num_warps);
+}
+
+double TraceSummary::mean_transactions() const {
+  G80_CHECK(num_warps > 0);
+  return static_cast<double>(total.global.transactions) /
+         static_cast<double>(num_warps);
+}
+
+double TraceSummary::mean_dram_bytes() const {
+  G80_CHECK(num_warps > 0);
+  return static_cast<double>(total.global.bytes) /
+         static_cast<double>(num_warps);
+}
+
+double TraceSummary::transactions_per_mem_inst() const {
+  return total.global_instructions == 0
+             ? 0.0
+             : static_cast<double>(total.global.transactions) /
+                   static_cast<double>(total.global_instructions);
+}
+
+double TraceSummary::dram_bytes_per_mem_inst() const {
+  return total.global_instructions == 0
+             ? 0.0
+             : static_cast<double>(total.global.bytes) /
+                   static_cast<double>(total.global_instructions);
+}
+
+double TraceSummary::coalesced_fraction() const {
+  return total.global_instructions == 0
+             ? 1.0
+             : static_cast<double>(total.coalesced_instructions) /
+                   static_cast<double>(total.global_instructions);
+}
+
+double TraceSummary::divergent_branch_fraction() const {
+  return total.branches == 0 ? 0.0
+                             : static_cast<double>(total.divergent_branches) /
+                                   static_cast<double>(total.branches);
+}
+
+double TraceSummary::fmad_fraction() const {
+  const auto t = total.ops.total();
+  return t == 0 ? 0.0
+                : static_cast<double>(total.ops[OpClass::kFMad]) /
+                      static_cast<double>(t);
+}
+
+}  // namespace g80

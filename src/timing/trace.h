@@ -1,0 +1,69 @@
+// Warp-level execution traces produced by the tracing context and consumed
+// by the timing model.
+//
+// A WarpTrace summarizes one warp's dynamic behaviour over a whole kernel:
+// warp-level instruction counts per class (max over lanes — exact for the
+// divergence-free kernels the paper's principle 3 produces, an approximation
+// otherwise, with the divergent-branch fraction reported alongside), plus
+// the memory-system outcomes (coalescing, bank conflicts, constant-cache
+// serialization, texture hit rates) already resolved by the analyzers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/isa.h"
+#include "mem/dram.h"
+
+namespace g80 {
+
+struct WarpTrace {
+  OpCounts ops;                        // warp-level instruction counts
+  double lane_flops = 0;               // per-lane flops summed over lanes
+  std::uint64_t global_instructions = 0;  // warp-level ld/st.global count
+  DramTraffic global;                  // post-coalescing DRAM traffic
+  std::uint64_t useful_global_bytes = 0;
+  std::uint64_t coalesced_instructions = 0;  // fully coalesced warp accesses
+  std::uint64_t shared_extra_passes = 0;     // bank-conflict serialization
+  std::uint64_t const_extra_passes = 0;      // constant-cache serialization
+  std::uint64_t texture_hits = 0;
+  std::uint64_t texture_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t divergent_branches = 0;
+
+  WarpTrace& operator+=(const WarpTrace& o);
+
+  // Cycles this warp occupies its SM's issue logic, including serialization
+  // from bank conflicts and constant-cache replays.
+  double issue_cycles(const DeviceSpec& spec) const;
+};
+
+struct BlockTrace {
+  std::vector<WarpTrace> warps;
+
+  WarpTrace aggregate() const;
+};
+
+// Totals across sampled blocks; the timing model works with per-warp means.
+struct TraceSummary {
+  WarpTrace total;        // summed over all traced warps
+  std::size_t num_warps = 0;
+  std::size_t num_blocks = 0;
+
+  static TraceSummary summarize(const std::vector<BlockTrace>& blocks);
+
+  double warps_per_block() const;
+  // Per-warp means.
+  double mean_issue_cycles(const DeviceSpec& spec) const;
+  double mean_global_instructions() const;
+  double mean_transactions() const;
+  double mean_dram_bytes() const;
+  // Ratio helpers.
+  double transactions_per_mem_inst() const;
+  double dram_bytes_per_mem_inst() const;
+  double coalesced_fraction() const;
+  double divergent_branch_fraction() const;
+  double fmad_fraction() const;  // the paper's headline instruction-mix metric
+};
+
+}  // namespace g80

@@ -1,0 +1,109 @@
+// Tests for the optimization advisor and the autotuner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/matmul/matmul.h"
+#include "core/advisor.h"
+#include "core/autotuner.h"
+#include "cudalite/device.h"
+
+namespace g80 {
+namespace {
+
+using apps::MatmulConfig;
+using apps::MatmulVariant;
+using apps::run_matmul;
+
+struct MatmulFixture : public ::testing::Test {
+  MatmulFixture()
+      : da(dev.alloc<float>(n * n)), db(dev.alloc<float>(n * n)),
+        dc(dev.alloc<float>(n * n)) {}
+
+  LaunchStats run(MatmulVariant v, int tile = 16) {
+    return run_matmul(dev, {v, tile}, static_cast<int>(n), da, db, dc,
+                      /*functional=*/false);
+  }
+
+  static bool has(const std::vector<Advice>& advice, AdviceKind k) {
+    return std::any_of(advice.begin(), advice.end(),
+                       [k](const Advice& a) { return a.kind == k; });
+  }
+
+  Device dev;
+  static constexpr std::size_t n = 1024;
+  DeviceBuffer<float> da, db, dc;
+};
+
+TEST_F(MatmulFixture, NaiveKernelGetsTilingAdvice) {
+  const auto advice = advise(dev.spec(), run(MatmulVariant::kNaive));
+  ASSERT_FALSE(advice.empty());
+  EXPECT_TRUE(has(advice, AdviceKind::kUseSharedMemoryTiling));
+  // Advice is sorted by severity.
+  for (std::size_t i = 1; i < advice.size(); ++i)
+    EXPECT_GE(advice[i - 1].severity, advice[i].severity);
+}
+
+TEST_F(MatmulFixture, TiledKernelGetsUnrollAdvice) {
+  // Issue-bound with a poor fmad fraction: the §4.3 move.
+  const auto advice = advise(dev.spec(), run(MatmulVariant::kTiled));
+  EXPECT_TRUE(has(advice, AdviceKind::kReduceInstructionOverhead));
+  EXPECT_FALSE(has(advice, AdviceKind::kUseSharedMemoryTiling));
+}
+
+TEST_F(MatmulFixture, PrefetchKernelFlagsRegisterPressure) {
+  const auto stats = run(MatmulVariant::kPrefetch);
+  ASSERT_EQ(stats.occupancy.limiter, OccupancyLimit::kRegisters);
+  // Register advice appears when occupancy suffers; with 2/3 occupancy and
+  // an issue-bound kernel it may be silent — run at least without errors and
+  // check potential is near achieved.
+  const auto advice = advise(dev.spec(), stats);
+  EXPECT_NEAR(potential_gflops(dev.spec(), stats.trace), stats.timing.gflops,
+              0.05 * stats.timing.gflops);
+  (void)advice;
+}
+
+TEST_F(MatmulFixture, PotentialGflopsMatchesPaperArithmetic) {
+  // §4.1: 1 fused multiply-add in 8 ops => 43.2 GFLOPS potential.
+  const auto naive = run(MatmulVariant::kNaive);
+  EXPECT_NEAR(potential_gflops(dev.spec(), naive.trace), 43.2, 0.5);
+  // §4.3: 16 MADs in 59 ops => 93.72 GFLOPS potential.
+  const auto unrolled = run(MatmulVariant::kTiledUnrolled);
+  EXPECT_NEAR(potential_gflops(dev.spec(), unrolled.trace), 93.7, 1.0);
+}
+
+TEST_F(MatmulFixture, FormatAdviceIsReadable) {
+  const auto advice = advise(dev.spec(), run(MatmulVariant::kNaive));
+  const std::string text = format_advice(advice);
+  EXPECT_NE(text.find("["), std::string::npos);
+  EXPECT_FALSE(format_advice({}).empty());
+}
+
+TEST_F(MatmulFixture, AutotunerPicksUnrolledSixteen) {
+  Autotuner tuner;
+  for (const auto& cfg :
+       {MatmulConfig{MatmulVariant::kNaive, 16},
+        MatmulConfig{MatmulVariant::kTiled, 8},
+        MatmulConfig{MatmulVariant::kTiled, 16},
+        MatmulConfig{MatmulVariant::kTiledUnrolled, 16},
+        MatmulConfig{MatmulVariant::kPrefetch, 16}}) {
+    tuner.add(cfg.name(), [this, cfg] {
+      return run_matmul(dev, cfg, static_cast<int>(n), da, db, dc, false);
+    });
+  }
+  const auto report = tuner.sweep();
+  ASSERT_EQ(report.entries.size(), 5u);
+  EXPECT_EQ(report.best().name, "16x16 tiled & unrolled");
+  // The report renders with one row per candidate.
+  const auto table = report.to_table(dev.spec());
+  EXPECT_NE(table.find("16x16 tiled & unrolled"), std::string::npos);
+  EXPECT_NE(table.find("blocks/SM"), std::string::npos);
+}
+
+TEST(Autotuner, EmptySweepThrows) {
+  Autotuner tuner;
+  EXPECT_THROW(tuner.sweep(), Error);
+}
+
+}  // namespace
+}  // namespace g80

@@ -1,0 +1,70 @@
+// Suite-level integration test: every application of the Table 2/3 study
+// runs at quick scale, validates its GPU port against the CPU reference
+// (run() throws on divergence), and reports sane metrics.
+#include <gtest/gtest.h>
+
+#include "apps/suite.h"
+#include "hw/device_spec.h"
+
+namespace g80 {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::geforce_8800_gtx();
+
+class SuiteApp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteApp, RunsAndValidates) {
+  const auto suite = apps::make_suite();
+  ASSERT_LT(static_cast<std::size_t>(GetParam()), suite.size());
+  const auto& app = suite[static_cast<std::size_t>(GetParam())];
+  const auto r = app->run(kSpec, RunScale::kQuick);
+
+  EXPECT_TRUE(r.validated) << r.info.name;
+  EXPECT_GT(r.cpu_kernel_seconds, 0.0) << r.info.name;
+  EXPECT_GT(r.gpu_kernel_seconds, 0.0) << r.info.name;
+  EXPECT_GE(r.transfer_seconds, 0.0) << r.info.name;
+  EXPECT_GE(r.launches, 1) << r.info.name;
+  EXPECT_GT(r.kernel_pct(), 0.0) << r.info.name;
+  EXPECT_LE(r.kernel_pct(), 100.0 + 1e-9) << r.info.name;
+  EXPECT_GE(r.amdahl_ceiling(), 1.0) << r.info.name;
+  // GPU exec % + transfer % <= 100 (remainder is serial CPU work).
+  EXPECT_LE(r.gpu_exec_pct() + r.transfer_pct(), 100.0 + 1e-9) << r.info.name;
+
+  // Representative launch carries real occupancy data.
+  const auto& rep = r.representative;
+  EXPECT_GE(rep.occupancy.blocks_per_sm, 1) << r.info.name;
+  EXPECT_LE(rep.occupancy.active_threads_per_sm, kSpec.max_threads_per_sm)
+      << r.info.name;
+  EXPECT_GT(rep.trace.num_warps, 0u) << r.info.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThirteen, SuiteApp,
+                         ::testing::Range(0, 13));
+
+TEST(Suite, HasThirteenApplications) {
+  EXPECT_EQ(apps::make_suite().size(), 13u);
+}
+
+TEST(Suite, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const auto& app : apps::make_suite()) {
+    const auto info = app->info();
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_TRUE(names.insert(info.name).second) << info.name << " duplicated";
+  }
+}
+
+TEST(Suite, DeterministicAcrossRuns) {
+  // Workloads are seeded: two runs of the same app must produce identical
+  // simulated-GPU timing (host-measured CPU seconds will differ).
+  const auto suite = apps::make_suite();
+  const auto a = suite[0]->run(kSpec, RunScale::kQuick);
+  const auto b = suite[0]->run(kSpec, RunScale::kQuick);
+  EXPECT_DOUBLE_EQ(a.representative.timing.seconds,
+                   b.representative.timing.seconds);
+  EXPECT_EQ(a.representative.trace.total.ops.total(),
+            b.representative.trace.total.ops.total());
+}
+
+}  // namespace
+}  // namespace g80

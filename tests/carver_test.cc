@@ -1,0 +1,101 @@
+// Tests for the optimization-space carver (the §6 tooling extension).
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul.h"
+#include "core/carver.h"
+#include "cudalite/device.h"
+
+namespace g80 {
+namespace {
+
+using apps::MatmulConfig;
+using apps::MatmulVariant;
+using apps::run_matmul;
+
+struct CarverFixture : public ::testing::Test {
+  CarverFixture()
+      : da(dev.alloc<float>(n * n)), db(dev.alloc<float>(n * n)),
+        dc(dev.alloc<float>(n * n)) {}
+
+  CarveCandidate candidate(const MatmulConfig& cfg) {
+    auto run = [this, cfg] {
+      return run_matmul(dev, cfg, static_cast<int>(n), da, db, dc, false);
+    };
+    return {cfg.name(), run, run};
+  }
+
+  Device dev;
+  static constexpr std::size_t n = 1024;
+  DeviceBuffer<float> da, db, dc;
+};
+
+TEST_F(CarverFixture, ParetoFrontierContainsTrueOptimum) {
+  OptimizationCarver carver(dev.spec());
+  std::vector<MatmulConfig> space = {
+      {MatmulVariant::kNaive, 16},          {MatmulVariant::kTiled, 8},
+      {MatmulVariant::kTiled, 16},          {MatmulVariant::kTiledUnrolled, 8},
+      {MatmulVariant::kTiledUnrolled, 16},  {MatmulVariant::kPrefetch, 16},
+      {MatmulVariant::kRegisterTiled, 16},
+  };
+  for (const auto& cfg : space) carver.add(candidate(cfg));
+  const auto report = carver.carve();
+
+  // Exhaustively evaluate to find the true best.
+  double best_seconds = 1e300;
+  std::string best_name;
+  for (const auto& cfg : space) {
+    const auto s =
+        run_matmul(dev, cfg, static_cast<int>(n), da, db, dc, false);
+    if (s.timing.seconds < best_seconds) {
+      best_seconds = s.timing.seconds;
+      best_name = cfg.name();
+    }
+  }
+  EXPECT_EQ(report.best().name, best_name);
+  // Pruning must be real: fewer evaluations than probes.
+  EXPECT_LT(report.evaluations, report.probes);
+  EXPECT_GE(report.evaluations, 1u);
+}
+
+TEST_F(CarverFixture, MetricsOrderSensibly) {
+  // Unrolling raises efficiency at equal utilization; tiny tiles crush
+  // utilization.
+  const auto tiled =
+      run_matmul(dev, {MatmulVariant::kTiled, 16}, 1024, da, db, dc, false);
+  const auto unrolled = run_matmul(dev, {MatmulVariant::kTiledUnrolled, 16},
+                                   1024, da, db, dc, false);
+  const auto tiny =
+      run_matmul(dev, {MatmulVariant::kTiled, 4}, 1024, da, db, dc, false);
+  EXPECT_GT(OptimizationCarver::efficiency_of(dev.spec(), unrolled),
+            OptimizationCarver::efficiency_of(dev.spec(), tiled));
+  EXPECT_EQ(OptimizationCarver::utilization_of(dev.spec(), unrolled),
+            OptimizationCarver::utilization_of(dev.spec(), tiled));
+  EXPECT_LT(OptimizationCarver::utilization_of(dev.spec(), tiny), 0.25);
+}
+
+TEST_F(CarverFixture, SingleCandidateSurvives) {
+  OptimizationCarver carver(dev.spec());
+  carver.add(candidate({MatmulVariant::kTiled, 16}));
+  const auto report = carver.carve();
+  EXPECT_EQ(report.evaluations, 1u);
+  EXPECT_TRUE(report.entries[0].pareto);
+}
+
+TEST(Carver, EmptyThrows) {
+  const auto spec = DeviceSpec::geforce_8800_gtx();
+  OptimizationCarver carver(spec);
+  EXPECT_THROW(carver.carve(), Error);
+}
+
+TEST_F(CarverFixture, ReportRendersEverything) {
+  OptimizationCarver carver(dev.spec());
+  carver.add(candidate({MatmulVariant::kTiled, 16}));
+  carver.add(candidate({MatmulVariant::kTiledUnrolled, 16}));
+  const auto report = carver.carve();
+  const auto table = report.to_table(dev.spec());
+  EXPECT_NE(table.find("pareto"), std::string::npos);
+  EXPECT_NE(table.find("probes: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g80

@@ -1,0 +1,94 @@
+// Device/spec/geometry tests: family variants, Dim3 arithmetic, allocation
+// bookkeeping, and CPU-baseline calibration.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/cpu_calibration.h"
+#include "cudalite/device.h"
+#include "cudalite/dim3.h"
+
+namespace g80 {
+namespace {
+
+TEST(Dim3, LinearizationRoundTrips) {
+  const Dim3 dim(7, 5, 3);
+  for (unsigned z = 0; z < dim.z; ++z) {
+    for (unsigned y = 0; y < dim.y; ++y) {
+      for (unsigned x = 0; x < dim.x; ++x) {
+        const Dim3 idx(x, y, z);
+        const unsigned lin = linear_index(idx, dim);
+        EXPECT_EQ(delinearize(lin, dim), idx);
+      }
+    }
+  }
+  EXPECT_EQ(dim.count(), 105u);
+}
+
+TEST(Dim3, XIsFastestLikeCuda) {
+  const Dim3 dim(16, 16);
+  // Thread (1, 0) is linear 1; thread (0, 1) is linear 16 — warps therefore
+  // span consecutive x first, which is what makes row-major accesses
+  // coalesce.  (Dim3's defaults are 1, sized for extents; index literals
+  // must zero the unused coordinates explicitly.)
+  EXPECT_EQ(linear_index(Dim3(1, 0, 0), dim), 1u);
+  EXPECT_EQ(linear_index(Dim3(0, 1, 0), dim), 16u);
+}
+
+TEST(VecTypes, AlignmentMatchesAccessSizes) {
+  static_assert(sizeof(Float2) == 8 && alignof(Float2) == 8);
+  static_assert(sizeof(Float4) == 16 && alignof(Float4) == 16);
+  SUCCEED();
+}
+
+TEST(DeviceSpec, FamilyVariantsDiffer) {
+  const auto gtx = DeviceSpec::geforce_8800_gtx();
+  const auto ultra = DeviceSpec::geforce_8800_ultra();
+  const auto gts = DeviceSpec::geforce_8800_gts();
+  EXPECT_EQ(gtx.num_sms, 16);
+  EXPECT_EQ(gts.num_sms, 12);
+  EXPECT_GT(ultra.peak_mad_gflops(), gtx.peak_mad_gflops());
+  EXPECT_LT(gts.peak_mad_gflops(), gtx.peak_mad_gflops());
+  EXPECT_GT(ultra.dram_bandwidth_gbs, gtx.dram_bandwidth_gbs);
+  // Resource structure is shared across the family (same architecture).
+  EXPECT_EQ(ultra.registers_per_sm, gtx.registers_per_sm);
+  EXPECT_EQ(gts.max_threads_per_sm, gtx.max_threads_per_sm);
+}
+
+TEST(Device, AllocationsAreAlignedAndDisjoint) {
+  Device dev;
+  auto a = dev.alloc<float>(100);
+  auto b = dev.alloc<float>(100);
+  EXPECT_EQ(a.device_addr() % 256, 0u);
+  EXPECT_EQ(b.device_addr() % 256, 0u);
+  EXPECT_GE(b.device_addr(), a.device_addr() + 400);
+  EXPECT_GE(dev.bytes_allocated(), 800u);
+}
+
+TEST(Device, GlobalMemoryExhaustionThrows) {
+  DeviceSpec tiny = DeviceSpec::geforce_8800_gtx();
+  tiny.global_mem_bytes = 1 << 20;
+  Device dev(tiny);
+  (void)dev.alloc<float>(200'000);  // 800 KB fits
+  EXPECT_THROW(dev.alloc<float>(200'000), Error);  // next 800 KB does not
+}
+
+TEST(Device, BufferFillAndCopy) {
+  Device dev;
+  auto b = dev.alloc<int>(64);
+  b.fill(7);
+  const auto host = b.copy_to_host();
+  for (int v : host) EXPECT_EQ(v, 7);
+}
+
+TEST(CpuCalibration, PositiveAndCached) {
+  const auto& cal = cpu_calibration();
+  EXPECT_GT(cal.host_gflops, 0.1);
+  EXPECT_GT(cal.host_to_opteron(), 0.0);
+  // Cached: a second call returns the identical measurement.
+  EXPECT_DOUBLE_EQ(cpu_calibration().host_gflops, cal.host_gflops);
+  // Scaling is linear.
+  EXPECT_DOUBLE_EQ(to_opteron_seconds(2.0), 2.0 * to_opteron_seconds(1.0));
+}
+
+}  // namespace
+}  // namespace g80

@@ -1,0 +1,161 @@
+// Matrix multiplication: functional equivalence of every kernel variant
+// against the CPU reference across sizes, plus regression checks that the
+// model reproduces the paper's §4 performance relationships.
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul.h"
+#include "common/stats.h"
+#include "cudalite/device.h"
+
+namespace g80 {
+namespace {
+
+using namespace apps;
+
+double max_err(const std::vector<float>& got, const std::vector<float>& want) {
+  double err = 0;
+  for (std::size_t i = 0; i < want.size(); ++i)
+    err = std::max(err, rel_err(got[i], want[i], 1e-3));
+  return err;
+}
+
+struct VariantCase {
+  MatmulVariant variant;
+  int tile;
+};
+
+class MatmulFunctional : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(MatmulFunctional, MatchesCpuReference) {
+  const auto [variant, tile] = GetParam();
+  // 48 is divisible by every tile size {4, 8, 12, 16}.
+  for (int n : {48, 96}) {
+    const auto w = MatmulWorkload::generate(n, 17);
+    std::vector<float> ref;
+    matmul_cpu(n, w.a, w.b, ref);
+
+    Device dev;
+    auto da = dev.alloc<float>(w.a.size());
+    auto db = dev.alloc<float>(w.b.size());
+    auto dc = dev.alloc<float>(w.a.size());
+    da.copy_from_host(w.a);
+    db.copy_from_host(w.b);
+    run_matmul(dev, {variant, tile}, n, da, db, dc, /*functional=*/true);
+    EXPECT_LT(max_err(dc.copy_to_host(), ref), 2e-4) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, MatmulFunctional,
+    ::testing::Values(VariantCase{MatmulVariant::kNaive, 16},
+                      VariantCase{MatmulVariant::kNaiveUnrolled, 16},
+                      VariantCase{MatmulVariant::kTiled, 4},
+                      VariantCase{MatmulVariant::kTiled, 8},
+                      VariantCase{MatmulVariant::kTiled, 12},
+                      VariantCase{MatmulVariant::kTiled, 16},
+                      VariantCase{MatmulVariant::kTiledUnrolled, 4},
+                      VariantCase{MatmulVariant::kTiledUnrolled, 8},
+                      VariantCase{MatmulVariant::kTiledUnrolled, 12},
+                      VariantCase{MatmulVariant::kTiledUnrolled, 16},
+                      VariantCase{MatmulVariant::kPrefetch, 16},
+                      VariantCase{MatmulVariant::kRegisterTiled, 8},
+                      VariantCase{MatmulVariant::kRegisterTiled, 16}));
+
+// ---- §4 performance-relationship regression ----------------------------------
+
+struct Sec4Fixture : public ::testing::Test {
+  Sec4Fixture()
+      : da(dev.alloc<float>(n * n)), db(dev.alloc<float>(n * n)),
+        dc(dev.alloc<float>(n * n)) {}
+
+  double gflops(MatmulVariant v, int tile = 16) {
+    return run_matmul(dev, {v, tile}, static_cast<int>(n), da, db, dc, false)
+        .timing.gflops;
+  }
+
+  Device dev;
+  static constexpr std::size_t n = 4096;
+  DeviceBuffer<float> da, db, dc;
+};
+
+TEST_F(Sec4Fixture, PaperShapeHolds) {
+  const double naive = gflops(MatmulVariant::kNaive);
+  const double tiled = gflops(MatmulVariant::kTiled);
+  const double unrolled = gflops(MatmulVariant::kTiledUnrolled);
+  const double prefetch = gflops(MatmulVariant::kPrefetch);
+
+  // Paper: 10.58 / 46.49 / 91.14 / 87.10 GFLOPS.  Bands are generous enough
+  // to survive model recalibration but tight enough to catch regressions.
+  EXPECT_GT(naive, 5.0);
+  EXPECT_LT(naive, 25.0);
+  EXPECT_NEAR(tiled, 46.49, 8.0);
+  EXPECT_NEAR(unrolled, 91.14, 8.0);
+  // Orderings (who wins) are the headline result.
+  EXPECT_GT(tiled, 2.5 * naive);          // paper: ~4.4x
+  EXPECT_GT(unrolled, 1.7 * tiled);       // paper: ~2x
+  EXPECT_LT(prefetch, unrolled);          // §4.4: prefetching LOSES
+  EXPECT_GT(prefetch, 0.9 * unrolled);    // ...but only by ~5%
+}
+
+TEST_F(Sec4Fixture, SmallTilesGainNothingOverUntiled) {
+  // §4.2 / Fig. 4: 4x4 tiles perform no better than the untiled kernel —
+  // the figure shows them slightly BELOW it (~9 vs 10.58 GFLOPS).  Our
+  // model lands both near 10 GFLOPS with the ordering inverted by ~13%
+  // (documented in EXPERIMENTS.md): the claim preserved here is that tiny
+  // tiles squander the tiling advantage entirely (16-thread blocks, half of
+  // every warp's issue slots idle, the 8-block limit) while 16x16 gains
+  // 4-5x.
+  const double naive = gflops(MatmulVariant::kNaive);
+  const double t4 = gflops(MatmulVariant::kTiled, 4);
+  EXPECT_LT(t4, 1.3 * naive);
+  EXPECT_LT(t4, 0.3 * gflops(MatmulVariant::kTiled, 16));
+}
+
+TEST_F(Sec4Fixture, SixteenIsBestTile) {
+  const double t16 = gflops(MatmulVariant::kTiledUnrolled, 16);
+  for (int tile : {4, 8}) {
+    EXPECT_GT(t16, gflops(MatmulVariant::kTiledUnrolled, tile));
+  }
+}
+
+TEST_F(Sec4Fixture, NaiveIsBandwidthBound) {
+  const auto s = run_matmul(dev, {MatmulVariant::kNaive, 16},
+                            static_cast<int>(n), da, db, dc, false);
+  EXPECT_EQ(s.timing.bottleneck, Bottleneck::kGlobalBandwidth);
+}
+
+TEST_F(Sec4Fixture, UnrolledIsIssueBound) {
+  const auto s = run_matmul(dev, {MatmulVariant::kTiledUnrolled, 16},
+                            static_cast<int>(n), da, db, dc, false);
+  EXPECT_EQ(s.timing.bottleneck, Bottleneck::kInstructionIssue);
+  // Tiling cut DRAM demand by ~16x (§4.2).
+  const auto naive = run_matmul(dev, {MatmulVariant::kNaive, 16},
+                                static_cast<int>(n), da, db, dc, false);
+  EXPECT_LT(s.trace.total.global.bytes * 8, naive.trace.total.global.bytes);
+}
+
+TEST_F(Sec4Fixture, TiledKernelsCoalescePerfectlyAtSixteen) {
+  const auto s = run_matmul(dev, {MatmulVariant::kTiledUnrolled, 16},
+                            static_cast<int>(n), da, db, dc, false);
+  EXPECT_DOUBLE_EQ(s.trace.coalesced_fraction(), 1.0);
+  const auto s4 = run_matmul(dev, {MatmulVariant::kTiledUnrolled, 4},
+                             static_cast<int>(n), da, db, dc, false);
+  EXPECT_LT(s4.trace.coalesced_fraction(), 0.5);
+}
+
+TEST_F(Sec4Fixture, RegisterTilingBeatsUnrolled) {
+  // The beyond-the-paper extension: two outputs per thread reuse the Bs
+  // operand, lifting the useful-instruction fraction past 16/59.
+  EXPECT_GT(gflops(MatmulVariant::kRegisterTiled, 16),
+            1.1 * gflops(MatmulVariant::kTiledUnrolled, 16));
+}
+
+TEST_F(Sec4Fixture, SharedMemoryUsageMatchesTileFootprint) {
+  const auto s = run_matmul(dev, {MatmulVariant::kTiled, 16},
+                            static_cast<int>(n), da, db, dc, false);
+  EXPECT_EQ(s.smem_per_block, 2u * 16 * 16 * sizeof(float));
+  EXPECT_EQ(s.occupancy.blocks_per_sm, 3);
+}
+
+}  // namespace
+}  // namespace g80

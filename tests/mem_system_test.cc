@@ -1,0 +1,204 @@
+// Tests for the shared-memory bank-conflict analyzer, the constant-cache
+// broadcast model, the texture cache and the DRAM model.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hw/device_spec.h"
+#include "mem/bank_conflict.h"
+#include "mem/const_cache.h"
+#include "mem/dram.h"
+#include "mem/texture_cache.h"
+
+namespace g80 {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::geforce_8800_gtx();
+
+WarpAccess lanes_with_words(std::initializer_list<std::uint64_t> words) {
+  WarpAccess w;
+  for (std::uint64_t word : words) w.push_back({word * 4, 4, 0, true});
+  while (w.size() < 16) w.push_back({0, 4, 0, false});
+  return w;
+}
+
+// ---- Shared-memory banks ------------------------------------------------------
+
+TEST(BankConflict, SequentialWordsConflictFree) {
+  WarpAccess w(16);
+  for (int k = 0; k < 16; ++k) w[k] = {static_cast<std::uint64_t>(4 * k), 4, 0, true};
+  const auto r = analyze_shared_half_warp(kSpec, w.data(), 16);
+  EXPECT_EQ(r.serialization, 1);
+  EXPECT_FALSE(r.broadcast);
+}
+
+TEST(BankConflict, SameWordBroadcasts) {
+  WarpAccess w(16);
+  for (int k = 0; k < 16; ++k) w[k] = {128, 4, 0, true};
+  const auto r = analyze_shared_half_warp(kSpec, w.data(), 16);
+  EXPECT_EQ(r.serialization, 1);
+  EXPECT_TRUE(r.broadcast);
+}
+
+TEST(BankConflict, StrideTwoGivesTwoWay) {
+  // Words 0,2,4,...,30: banks 0,2,...,14 each hit twice with distinct words.
+  WarpAccess w(16);
+  for (int k = 0; k < 16; ++k) w[k] = {static_cast<std::uint64_t>(8 * k), 4, 0, true};
+  EXPECT_EQ(analyze_shared_half_warp(kSpec, w.data(), 16).serialization, 2);
+}
+
+TEST(BankConflict, StrideSixteenIsWorstCase) {
+  // All 16 lanes in bank 0 with distinct words: 16-way serialization.
+  WarpAccess w(16);
+  for (int k = 0; k < 16; ++k) w[k] = {static_cast<std::uint64_t>(64 * k), 4, 0, true};
+  EXPECT_EQ(analyze_shared_half_warp(kSpec, w.data(), 16).serialization, 16);
+}
+
+TEST(BankConflict, OddStrideConflictFree) {
+  // Classic fix: any odd word stride is conflict-free across 16 banks.
+  for (int stride : {1, 3, 5, 7, 9, 11, 13, 15, 17}) {
+    WarpAccess w(16);
+    for (int k = 0; k < 16; ++k)
+      w[k] = {static_cast<std::uint64_t>(4 * stride * k), 4, 0, true};
+    EXPECT_EQ(analyze_shared_half_warp(kSpec, w.data(), 16).serialization, 1)
+        << "stride " << stride;
+  }
+}
+
+TEST(BankConflict, EvenStridesConflict) {
+  for (int stride : {2, 4, 8, 16}) {
+    WarpAccess w(16);
+    for (int k = 0; k < 16; ++k)
+      w[k] = {static_cast<std::uint64_t>(4 * stride * k), 4, 0, true};
+    EXPECT_GT(analyze_shared_half_warp(kSpec, w.data(), 16).serialization, 1)
+        << "stride " << stride;
+  }
+}
+
+TEST(BankConflict, PartialBroadcastStillConflicts) {
+  // 15 lanes on word 0, one lane on word 16 (same bank, different word):
+  // two passes.
+  auto w = lanes_with_words({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 16});
+  const auto r = analyze_shared_half_warp(kSpec, w.data(), 16);
+  EXPECT_EQ(r.serialization, 2);
+  EXPECT_FALSE(r.broadcast);
+}
+
+TEST(BankConflict, WarpCostSumsHalfWarps) {
+  WarpAccess w(32);
+  for (int k = 0; k < 16; ++k)
+    w[k] = {static_cast<std::uint64_t>(4 * k), 4, 0, true};  // clean
+  for (int k = 16; k < 32; ++k)
+    w[k] = {static_cast<std::uint64_t>(64 * (k - 16)), 4, 0, true};  // 16-way
+  const auto cost = analyze_shared_warp(kSpec, w);
+  EXPECT_EQ(cost.passes, 1 + 16);
+  EXPECT_EQ(cost.extra_passes, (1 - 1) + (16 - 1));
+}
+
+TEST(BankConflict, Float2SpansTwoBanks) {
+  // 8-byte accesses at stride 8 touch banks (2k, 2k+1): conflict-free for a
+  // half-warp only up to 8 lanes; 16 lanes wrap and collide with distinct
+  // words -> 2-way.
+  WarpAccess w(16);
+  for (int k = 0; k < 16; ++k)
+    w[k] = {static_cast<std::uint64_t>(8 * k), 8, 0, true};
+  EXPECT_EQ(analyze_shared_half_warp(kSpec, w.data(), 16).serialization, 2);
+}
+
+// ---- Constant cache -----------------------------------------------------------
+
+TEST(ConstCache, UniformAddressBroadcasts) {
+  WarpAccess w(16);
+  for (int k = 0; k < 16; ++k) w[k] = {1024, 4, 0, true};
+  const auto r = analyze_const_half_warp(kSpec, w.data(), 16);
+  EXPECT_TRUE(r.broadcast);
+  EXPECT_EQ(r.serialization, 1);
+}
+
+TEST(ConstCache, DistinctAddressesSerialize) {
+  WarpAccess w(16);
+  for (int k = 0; k < 16; ++k) w[k] = {static_cast<std::uint64_t>(4 * k), 4, 0, true};
+  const auto r = analyze_const_half_warp(kSpec, w.data(), 16);
+  EXPECT_FALSE(r.broadcast);
+  EXPECT_EQ(r.serialization, 16);
+}
+
+TEST(ConstCache, PartialDivergenceCostsDistinctCount) {
+  auto w = lanes_with_words({0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3});
+  EXPECT_EQ(analyze_const_half_warp(kSpec, w.data(), 16).serialization, 4);
+}
+
+TEST(ConstCache, WarpExtraPasses) {
+  WarpAccess w(32);
+  for (int k = 0; k < 32; ++k) w[k] = {static_cast<std::uint64_t>(k < 16 ? 0 : 4 * k), 4, 0, true};
+  const auto cost = analyze_const_warp(kSpec, w);
+  EXPECT_EQ(cost.passes, 1 + 16);
+  EXPECT_EQ(cost.extra_passes, (1 - 1) + (16 - 1));
+}
+
+// ---- Texture cache ------------------------------------------------------------
+
+TEST(TextureCache, SpatialLocalityHits) {
+  TextureCache cache(kSpec);
+  // 32-byte lines: 8 consecutive floats share a line.
+  EXPECT_FALSE(cache.access(0));   // cold miss
+  for (int i = 1; i < 8; ++i) EXPECT_TRUE(cache.access(4 * i));
+  EXPECT_FALSE(cache.access(32));  // next line
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 7.0 / 9.0);
+}
+
+TEST(TextureCache, RepeatedSmallTableStaysResident) {
+  TextureCache cache(kSpec);
+  // A 1 KB table fits in the 8 KB cache: after one pass everything hits.
+  for (int i = 0; i < 256; ++i) cache.access(4 * i);
+  cache.reset_stats();
+  for (int rep = 0; rep < 4; ++rep)
+    for (int i = 0; i < 256; ++i) cache.access(4 * i);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 1.0);
+}
+
+TEST(TextureCache, StreamLargerThanCacheThrashes) {
+  TextureCache cache(kSpec);
+  // 64 KB stream through an 8 KB cache, revisited: all misses.
+  for (int rep = 0; rep < 2; ++rep)
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 32) cache.access(a);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(TextureCache, LruEvictsOldest) {
+  TextureCache cache(kSpec, /*ways=*/2);
+  const std::uint64_t set_stride = 8 * 1024 / 2;  // maps to the same set
+  cache.access(0);
+  cache.access(set_stride);
+  EXPECT_TRUE(cache.access(0));            // refresh line 0
+  cache.access(2 * set_stride);            // evicts set_stride (LRU)
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(set_stride));  // was evicted
+}
+
+// ---- DRAM model ----------------------------------------------------------------
+
+TEST(Dram, CoalescedBandwidthCycles) {
+  const DramModel dram(kSpec);
+  DramTraffic t;
+  t.bytes = static_cast<std::uint64_t>(kSpec.dram_bandwidth_gbs *
+                                       kSpec.dram_efficiency * 1e9);
+  // Exactly one second worth of coalesced traffic = one second of cycles.
+  EXPECT_NEAR(dram.bandwidth_cycles(t) / (kSpec.core_clock_ghz * 1e9), 1.0,
+              1e-9);
+}
+
+TEST(Dram, ScatteredTrafficCostsMore) {
+  const DramModel dram(kSpec);
+  DramTraffic seq{0, 1 << 20, 0};
+  DramTraffic rnd{0, 1 << 20, 1 << 20};
+  EXPECT_GT(dram.bandwidth_cycles(rnd), 2.0 * dram.bandwidth_cycles(seq));
+}
+
+TEST(Dram, DepartureDelayMatchesTransactionSize) {
+  const DramModel dram(kSpec);
+  const double bpc = dram.effective_bandwidth_gbs() / kSpec.core_clock_ghz;
+  EXPECT_NEAR(dram.departure_delay_cycles(), 32.0 / bpc, 1e-12);
+}
+
+}  // namespace
+}  // namespace g80

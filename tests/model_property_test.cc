@@ -1,0 +1,149 @@
+// Property tests for the timing model: directional invariants that must
+// hold for ANY kernel trace under device-parameter perturbations — the
+// sanity constraints a performance model has to satisfy before its absolute
+// numbers mean anything.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "occupancy/occupancy.h"
+#include "timing/model.h"
+#include "timing/trace.h"
+
+namespace g80 {
+namespace {
+
+const DeviceSpec kGtx = DeviceSpec::geforce_8800_gtx();
+
+// Random-but-plausible warp trace.
+WarpTrace random_warp(SplitMix64& rng) {
+  WarpTrace w;
+  w.ops[OpClass::kFMad] = 10 + rng.next_below(2000);
+  w.ops[OpClass::kIAlu] = rng.next_below(1000);
+  w.ops[OpClass::kSfu] = rng.next_below(200);
+  w.ops[OpClass::kBranch] = rng.next_below(300);
+  const std::uint64_t loads = rng.next_below(300);
+  w.ops[OpClass::kLoadGlobal] = loads;
+  w.global_instructions = loads;
+  const bool coalesced = rng.next_below(2) == 0;
+  w.global.transactions = loads * (coalesced ? 2 : 32);
+  w.global.bytes = loads * (coalesced ? 128 : 512);
+  w.global.scattered_bytes = coalesced ? 0 : w.global.bytes;
+  w.useful_global_bytes = loads * 128;
+  w.coalesced_instructions = coalesced ? loads : 0;
+  w.lane_flops =
+      static_cast<double>(w.ops[OpClass::kFMad]) * 64.0 +
+      static_cast<double>(w.ops[OpClass::kSfu]) * 32.0;
+  return w;
+}
+
+TraceSummary summary_of(const WarpTrace& w, int warps_per_block, int blocks) {
+  std::vector<BlockTrace> bt(blocks);
+  for (auto& b : bt) b.warps.assign(warps_per_block, w);
+  return TraceSummary::summarize(bt);
+}
+
+class ModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelProperty, TimePositiveAndFiniteForRandomTraces) {
+  SplitMix64 rng(GetParam());
+  const auto occ = compute_occupancy(kGtx, {10, 1024, 256});
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = summary_of(random_warp(rng), 8, 3);
+    const auto t = simulate_kernel(kGtx, occ, 480, s);
+    ASSERT_TRUE(std::isfinite(t.seconds));
+    ASSERT_GT(t.seconds, 0.0);
+    ASSERT_GE(t.gflops, 0.0);
+    ASSERT_GE(t.mwp, 1.0);
+    ASSERT_LE(t.mwp, occ.active_warps_per_sm + 1e-9);
+    ASSERT_GE(t.sync_stall_cycles, 0.0);
+  }
+}
+
+TEST_P(ModelProperty, MoreWorkNeverRunsFaster) {
+  SplitMix64 rng(GetParam());
+  const auto occ = compute_occupancy(kGtx, {10, 1024, 256});
+  for (int trial = 0; trial < 30; ++trial) {
+    WarpTrace base = random_warp(rng);
+    WarpTrace more = base;
+    more.ops[OpClass::kFMad] += 500;  // strictly more compute
+    const auto tb = simulate_kernel(kGtx, occ, 480, summary_of(base, 8, 3));
+    const auto tm = simulate_kernel(kGtx, occ, 480, summary_of(more, 8, 3));
+    ASSERT_GE(tm.seconds, tb.seconds - 1e-15);
+  }
+}
+
+TEST_P(ModelProperty, HigherClockNeverSlower) {
+  SplitMix64 rng(GetParam());
+  DeviceSpec fast = kGtx;
+  fast.core_clock_ghz = 1.8;
+  // Scale bandwidth so memory-per-cycle stays comparable (pure clock test
+  // would otherwise starve memory-bound traces — also a valid outcome, but
+  // then the inequality direction is trace-dependent).
+  fast.dram_bandwidth_gbs = kGtx.dram_bandwidth_gbs * 1.8 / 1.35;
+  const auto occ = compute_occupancy(kGtx, {10, 1024, 256});
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto s = summary_of(random_warp(rng), 8, 3);
+    const auto slow_t = simulate_kernel(kGtx, occ, 480, s);
+    const auto fast_t = simulate_kernel(fast, occ, 480, s);
+    ASSERT_LE(fast_t.seconds, slow_t.seconds * 1.001);
+  }
+}
+
+TEST_P(ModelProperty, MoreBandwidthNeverSlower) {
+  SplitMix64 rng(GetParam());
+  DeviceSpec wide = kGtx;
+  wide.dram_bandwidth_gbs *= 2.0;
+  wide.dram_transactions_per_cycle *= 2.0;
+  const auto occ = compute_occupancy(kGtx, {10, 1024, 256});
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto s = summary_of(random_warp(rng), 8, 3);
+    ASSERT_LE(simulate_kernel(wide, occ, 480, s).seconds,
+              simulate_kernel(kGtx, occ, 480, s).seconds * 1.001);
+  }
+}
+
+TEST_P(ModelProperty, LowerLatencyNeverSlower) {
+  SplitMix64 rng(GetParam());
+  DeviceSpec snappy = kGtx;
+  snappy.global_latency_cycles = 100.0;
+  const auto occ = compute_occupancy(kGtx, {10, 1024, 256});
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto s = summary_of(random_warp(rng), 8, 3);
+    ASSERT_LE(simulate_kernel(snappy, occ, 480, s).seconds,
+              simulate_kernel(kGtx, occ, 480, s).seconds * 1.001);
+  }
+}
+
+TEST_P(ModelProperty, GridScalingIsMonotone) {
+  SplitMix64 rng(GetParam());
+  const auto occ = compute_occupancy(kGtx, {10, 1024, 256});
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto s = summary_of(random_warp(rng), 8, 3);
+    double prev = 0.0;
+    for (std::uint64_t blocks : {48ull, 96ull, 480ull, 4800ull}) {
+      const double secs = simulate_kernel(kGtx, occ, blocks, s).seconds;
+      ASSERT_GE(secs, prev - 1e-15);
+      prev = secs;
+    }
+  }
+}
+
+TEST_P(ModelProperty, AchievedNeverExceedsHardwareCeilings) {
+  SplitMix64 rng(GetParam());
+  const auto occ = compute_occupancy(kGtx, {10, 1024, 256});
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = summary_of(random_warp(rng), 8, 3);
+    const auto t = simulate_kernel(kGtx, occ, 480, s);
+    // SFU flops can add to the MAD peak, never beyond the combined peak.
+    ASSERT_LE(t.gflops, kGtx.peak_gflops_with_sfu() + 1e-6);
+    ASSERT_LE(t.dram_gbs, kGtx.dram_bandwidth_gbs + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace g80

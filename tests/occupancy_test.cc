@@ -1,0 +1,127 @@
+#include "occupancy/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hw/device_spec.h"
+
+namespace g80 {
+namespace {
+
+const DeviceSpec kGtx = DeviceSpec::geforce_8800_gtx();
+
+TEST(Occupancy, PaperMatmul10RegsGivesThreeBlocks) {
+  // §4.1: 10 registers/thread, 256-thread blocks -> three blocks = the
+  // maximum 768 threads per SM.
+  const auto occ = compute_occupancy(kGtx, {10, 2048, 256});
+  EXPECT_EQ(occ.blocks_per_sm, 3);
+  EXPECT_EQ(occ.active_threads_per_sm, 768);
+  EXPECT_EQ(occ.active_warps_per_sm, 24);
+  EXPECT_EQ(occ.limiter, OccupancyLimit::kThreads);
+  EXPECT_DOUBLE_EQ(occ.fraction(kGtx), 1.0);
+}
+
+TEST(Occupancy, PaperMatmul11RegsDropsToTwoBlocks) {
+  // §4.2/§4.4: 11 registers x 256 threads x 3 blocks = 8448 > 8192, so only
+  // two blocks can be resident.
+  const auto occ = compute_occupancy(kGtx, {11, 2048, 256});
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.active_threads_per_sm, 512);
+  EXPECT_EQ(occ.limiter, OccupancyLimit::kRegisters);
+}
+
+TEST(Occupancy, SmallBlocksHitEightBlockLimit) {
+  // §4.2: 4x4 tiles = 16-thread blocks; the 8-block limit leaves the SM
+  // mostly empty (128 threads).
+  const auto occ = compute_occupancy(kGtx, {10, 128, 16});
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+  EXPECT_EQ(occ.active_threads_per_sm, 128);
+  EXPECT_EQ(occ.limiter, OccupancyLimit::kBlocks);
+}
+
+TEST(Occupancy, TwelveByTwelveTilesWasteWarpSlots) {
+  // §4.2: 144 threads = 4.5 warps, rounded up to 5 warp slots; 24/5 = 4
+  // blocks, 576 active threads.
+  const auto occ = compute_occupancy(kGtx, {10, 1152, 144});
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.active_threads_per_sm, 576);
+  EXPECT_EQ(occ.active_warps_per_sm, 20);
+}
+
+TEST(Occupancy, SharedMemoryLimits) {
+  // 9 KB/block of shared memory -> only one block fits in 16 KB.
+  const auto occ = compute_occupancy(kGtx, {10, 9 * 1024, 128});
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_EQ(occ.limiter, OccupancyLimit::kSharedMem);
+}
+
+TEST(Occupancy, ImpossibleConfigurationsThrow) {
+  EXPECT_THROW(compute_occupancy(kGtx, {10, 0, 1024}), Error);   // > 512 thr
+  EXPECT_THROW(compute_occupancy(kGtx, {10, 32 * 1024, 64}), Error);  // smem
+  EXPECT_THROW(compute_occupancy(kGtx, {64, 0, 256}), Error);    // registers
+}
+
+TEST(Occupancy, ZeroRegisterKernelStillBlockLimited) {
+  const auto occ = compute_occupancy(kGtx, {0, 0, 32});
+  EXPECT_EQ(occ.blocks_per_sm, 8);
+}
+
+class OccupancyMonotoneRegs : public ::testing::TestWithParam<int> {};
+
+TEST_P(OccupancyMonotoneRegs, MoreRegistersNeverIncreaseOccupancy) {
+  const int threads = GetParam();
+  int prev = kGtx.max_blocks_per_sm + 1;
+  bool became_impossible = false;
+  for (int regs = 1; regs <= 32; ++regs) {
+    if (static_cast<long long>(regs) * threads > kGtx.registers_per_sm) {
+      // A single block no longer fits; must throw, and must stay impossible.
+      EXPECT_THROW(compute_occupancy(kGtx, {regs, 0, threads}), Error);
+      became_impossible = true;
+      continue;
+    }
+    ASSERT_FALSE(became_impossible);
+    const auto occ = compute_occupancy(kGtx, {regs, 0, threads});
+    EXPECT_LE(occ.blocks_per_sm, prev)
+        << "regs=" << regs << " threads=" << threads;
+    prev = occ.blocks_per_sm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, OccupancyMonotoneRegs,
+                         ::testing::Values(32, 64, 128, 192, 256, 384, 512));
+
+class OccupancyMonotoneSmem : public ::testing::TestWithParam<int> {};
+
+TEST_P(OccupancyMonotoneSmem, MoreSharedMemoryNeverIncreasesOccupancy) {
+  const int threads = GetParam();
+  int prev = kGtx.max_blocks_per_sm + 1;
+  for (std::size_t smem = 256; smem <= 16 * 1024; smem += 256) {
+    const auto occ = compute_occupancy(kGtx, {8, smem, threads});
+    EXPECT_LE(occ.blocks_per_sm, prev) << "smem=" << smem;
+    prev = occ.blocks_per_sm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, OccupancyMonotoneSmem,
+                         ::testing::Values(32, 128, 256));
+
+TEST(Occupancy, NeverExceedsHardwareLimits) {
+  for (int regs : {1, 5, 10, 16, 32}) {
+    for (int threads : {16, 32, 100, 144, 256, 512}) {
+      for (std::size_t smem : {std::size_t{0}, std::size_t{1024}, std::size_t{8192}}) {
+        if (static_cast<long long>(regs) * threads > kGtx.registers_per_sm)
+          continue;  // unlaunchable; covered by ImpossibleConfigurationsThrow
+        const auto occ = compute_occupancy(kGtx, {regs, smem, threads});
+        EXPECT_LE(occ.blocks_per_sm, kGtx.max_blocks_per_sm);
+        EXPECT_LE(occ.active_warps_per_sm, kGtx.max_warps_per_sm());
+        EXPECT_LE(occ.blocks_per_sm * static_cast<long long>(regs) * threads,
+                  kGtx.registers_per_sm + kGtx.register_alloc_unit *
+                                              occ.blocks_per_sm);
+        EXPECT_LE(occ.blocks_per_sm * smem, kGtx.shared_mem_per_sm);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace g80

@@ -1,0 +1,56 @@
+// Tests for the launch-report renderer.
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul.h"
+#include "core/report.h"
+#include "cudalite/device.h"
+
+namespace g80 {
+namespace {
+
+using apps::MatmulVariant;
+using apps::run_matmul;
+
+struct ReportFixture : public ::testing::Test {
+  ReportFixture()
+      : da(dev.alloc<float>(n * n)), db(dev.alloc<float>(n * n)),
+        dc(dev.alloc<float>(n * n)),
+        stats(run_matmul(dev, {MatmulVariant::kTiledUnrolled, 16},
+                         static_cast<int>(n), da, db, dc, false)) {}
+
+  Device dev;
+  static constexpr std::size_t n = 1024;
+  DeviceBuffer<float> da, db, dc;
+  LaunchStats stats;
+};
+
+TEST_F(ReportFixture, FullReportContainsEverySection) {
+  const std::string r = launch_report(dev.spec(), stats);
+  for (const char* needle :
+       {"launch report", "occupancy:", "instruction mix", "fmad",
+        "potential throughput", "global memory:", "coalesced",
+        "timing model:", "bottleneck:", "advisor:"}) {
+    EXPECT_NE(r.find(needle), std::string::npos) << "missing: " << needle;
+  }
+  // The matmul numbers should appear: 3 blocks/SM, 768 threads.
+  EXPECT_NE(r.find("3 block(s)/SM"), std::string::npos);
+  EXPECT_NE(r.find("768/768"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SummaryIsOneLine) {
+  const std::string s = launch_summary(dev.spec(), stats);
+  EXPECT_EQ(s.find('\n'), std::string::npos);
+  EXPECT_NE(s.find("GFLOPS"), std::string::npos);
+  EXPECT_NE(s.find("thr/SM"), std::string::npos);
+}
+
+TEST_F(ReportFixture, ReportReflectsBottleneck) {
+  // The naive kernel's report must carry the bandwidth diagnosis.
+  const auto naive = run_matmul(dev, {MatmulVariant::kNaive, 16},
+                                static_cast<int>(n), da, db, dc, false);
+  const std::string r = launch_report(dev.spec(), naive);
+  EXPECT_NE(r.find("global memory bandwidth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g80

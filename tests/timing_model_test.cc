@@ -1,0 +1,220 @@
+// Tests for the ISA cost tables and the analytical timing model, using
+// hand-constructed warp traces with known expectations.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hw/isa.h"
+#include "occupancy/occupancy.h"
+#include "timing/model.h"
+#include "timing/trace.h"
+
+namespace g80 {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::geforce_8800_gtx();
+
+// ---- ISA cost tables ----------------------------------------------------------
+
+TEST(Isa, IssueCosts) {
+  EXPECT_DOUBLE_EQ(issue_cycles(OpClass::kFMad, kSpec), 4.0);   // 32 lanes / 8 SPs
+  EXPECT_DOUBLE_EQ(issue_cycles(OpClass::kSfu, kSpec), 16.0);   // 32 / 2 SFUs
+  EXPECT_DOUBLE_EQ(issue_cycles(OpClass::kIMul, kSpec), 16.0);  // microcoded
+  EXPECT_DOUBLE_EQ(issue_cycles(OpClass::kLoadGlobal, kSpec), 4.0);
+}
+
+TEST(Isa, FlopsPerLane) {
+  EXPECT_DOUBLE_EQ(flops_per_lane(OpClass::kFMad), 2.0);
+  EXPECT_DOUBLE_EQ(flops_per_lane(OpClass::kFAdd), 1.0);
+  EXPECT_DOUBLE_EQ(flops_per_lane(OpClass::kIAlu), 0.0);
+  EXPECT_DOUBLE_EQ(flops_per_lane(OpClass::kLoadGlobal), 0.0);
+}
+
+TEST(Isa, PeakNumbersMatchPaper) {
+  EXPECT_NEAR(kSpec.peak_mad_gflops(), 345.6, 0.01);       // §1
+  EXPECT_NEAR(kSpec.peak_gflops_with_sfu(), 388.8, 0.01);  // §3.2
+  EXPECT_EQ(kSpec.total_sps(), 128);
+  EXPECT_EQ(kSpec.max_active_threads(), 12288);
+  EXPECT_EQ(kSpec.max_warps_per_sm(), 24);
+}
+
+TEST(Isa, OpCountsAggregation) {
+  OpCounts a, b;
+  a[OpClass::kFMad] = 10;
+  a[OpClass::kIAlu] = 5;
+  b[OpClass::kFMad] = 3;
+  a += b;
+  EXPECT_EQ(a[OpClass::kFMad], 13u);
+  EXPECT_EQ(a.total(), 18u);
+  EXPECT_DOUBLE_EQ(a.flops(), 26.0);
+  EXPECT_DOUBLE_EQ(a.warp_issue_cycles(kSpec), 18 * 4.0);
+}
+
+// ---- Trace helpers --------------------------------------------------------------
+
+// A warp executing `mads` fused multiply-adds and `loads` fully coalesced
+// global loads (64 B per half-warp).
+WarpTrace make_warp(std::uint64_t mads, std::uint64_t loads,
+                    std::uint64_t syncs = 0) {
+  WarpTrace w;
+  w.ops[OpClass::kFMad] = mads;
+  w.ops[OpClass::kLoadGlobal] = loads;
+  w.ops[OpClass::kSync] = syncs;
+  w.lane_flops = static_cast<double>(mads) * 32 * 2;
+  w.global_instructions = loads;
+  w.global.transactions = loads * 2;
+  w.global.bytes = loads * 128;
+  w.useful_global_bytes = loads * 128;
+  w.coalesced_instructions = loads;
+  return w;
+}
+
+TraceSummary summary_of(const WarpTrace& w, int warps_per_block, int blocks) {
+  std::vector<BlockTrace> bt(blocks);
+  for (auto& b : bt) b.warps.assign(warps_per_block, w);
+  return TraceSummary::summarize(bt);
+}
+
+// ---- Timing model ---------------------------------------------------------------
+
+TEST(TimingModel, PureComputeKernelHitsIssueFloor) {
+  // 10000 MADs, no memory: wave time == issue cycles x resident warps;
+  // achieved GFLOPS == peak MAD throughput.
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  const auto s = summary_of(make_warp(10000, 0), 8, 2);
+  const auto t = simulate_kernel(kSpec, occ, /*blocks=*/4800, s);
+  EXPECT_EQ(t.bottleneck, Bottleneck::kInstructionIssue);
+  EXPECT_NEAR(t.gflops, kSpec.peak_mad_gflops(), 1.0);
+  EXPECT_NEAR(t.wave_cycles, 10000 * 4.0 * 24, 1e-6);
+}
+
+TEST(TimingModel, StreamingKernelHitsBandwidthFloor) {
+  // 1 MAD per 3 coalesced loads: SAXPY-like, must be DRAM-bound and achieve
+  // close to effective bandwidth.
+  const auto occ = compute_occupancy(kSpec, {5, 0, 256});
+  const auto s = summary_of(make_warp(1000, 3000), 8, 3);
+  const auto t = simulate_kernel(kSpec, occ, 4800, s);
+  EXPECT_EQ(t.bottleneck, Bottleneck::kGlobalBandwidth);
+  EXPECT_NEAR(t.dram_gbs, kSpec.dram_bandwidth_gbs * kSpec.dram_efficiency,
+              5.0);
+}
+
+TEST(TimingModel, FewWarpsExposeLatency) {
+  // One 32-thread block per SM (1 warp resident): long-latency loads cannot
+  // be hidden, so the latency-bound term dominates the issue floor.
+  const auto occ = compute_occupancy(kSpec, {200, 0, 32});
+  ASSERT_EQ(occ.active_warps_per_sm, 1);
+  const auto s = summary_of(make_warp(100, 100), 1, 4);
+  const auto t = simulate_kernel(kSpec, occ, 1600, s);
+  EXPECT_EQ(t.bottleneck, Bottleneck::kGlobalLatency);
+  EXPECT_GT(t.latency_bound_cycles, t.issue_floor_cycles);
+}
+
+TEST(TimingModel, MoreWarpsHideLatencyBetter) {
+  // Same per-warp work; occupancy 1 warp vs 24 warps.  Normalized per-warp
+  // time must improve with more warps.
+  const auto w = make_warp(200, 50);
+  const auto occ_low = compute_occupancy(kSpec, {200, 0, 32});
+  const auto occ_high = compute_occupancy(kSpec, {10, 0, 256});
+  const auto t_low =
+      simulate_kernel(kSpec, occ_low, 16 * 1 * 4, summary_of(w, 1, 4));
+  const auto t_high =
+      simulate_kernel(kSpec, occ_high, 16 * 3 * 8 * 4, summary_of(w, 8, 4));
+  // Both process warps proportional to resident count; compare per-warp cost.
+  const double per_warp_low = t_low.wave_cycles / 1.0;
+  const double per_warp_high = t_high.wave_cycles / 24.0;
+  EXPECT_LT(per_warp_high, per_warp_low);
+}
+
+TEST(TimingModel, UnderfilledGridFlagged) {
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  const auto s = summary_of(make_warp(1000, 10), 8, 2);
+  const auto t = simulate_kernel(kSpec, occ, /*blocks=*/2, s);
+  EXPECT_EQ(t.bottleneck, Bottleneck::kIdle);
+}
+
+TEST(TimingModel, WavesScaleLinearly) {
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  const auto s = summary_of(make_warp(1000, 10), 8, 2);
+  const auto t1 = simulate_kernel(kSpec, occ, 48, s);    // one wave (3x16)
+  const auto t4 = simulate_kernel(kSpec, occ, 192, s);   // four waves
+  EXPECT_NEAR(t4.seconds / t1.seconds, 4.0, 1e-9);
+}
+
+TEST(TimingModel, ScatteredTrafficSlowerThanCoalesced) {
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  WarpTrace coalesced = make_warp(100, 500);
+  WarpTrace scattered = make_warp(100, 500);
+  // Same useful bytes, but serialized into 16 transactions per half-warp.
+  scattered.global.transactions = 500 * 32;
+  scattered.global.bytes = 500 * 32 * 32;
+  scattered.global.scattered_bytes = scattered.global.bytes;
+  scattered.coalesced_instructions = 0;
+  const auto tc = simulate_kernel(kSpec, occ, 480, summary_of(coalesced, 8, 2));
+  const auto ts = simulate_kernel(kSpec, occ, 480, summary_of(scattered, 8, 2));
+  EXPECT_GT(ts.seconds, 5.0 * tc.seconds);
+}
+
+TEST(TimingModel, BankConflictsAddIssueCycles) {
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  WarpTrace clean = make_warp(1000, 0);
+  clean.ops[OpClass::kLoadShared] = 1000;
+  WarpTrace conflicted = clean;
+  conflicted.shared_extra_passes = 15000;  // 16-way conflicts throughout
+  const auto tc = simulate_kernel(kSpec, occ, 480, summary_of(clean, 8, 2));
+  const auto tf =
+      simulate_kernel(kSpec, occ, 480, summary_of(conflicted, 8, 2));
+  EXPECT_NEAR(tf.wave_cycles / tc.wave_cycles, (2000 + 15000.0) / 2000.0, 0.01);
+}
+
+TEST(TimingModel, SfuHeavyKernelSlowerPerInstruction) {
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  WarpTrace sp = make_warp(1000, 0);
+  WarpTrace sfu;
+  sfu.ops[OpClass::kSfu] = 1000;
+  sfu.lane_flops = 1000.0 * 32;
+  const auto t_sp = simulate_kernel(kSpec, occ, 480, summary_of(sp, 8, 2));
+  const auto t_sfu = simulate_kernel(kSpec, occ, 480, summary_of(sfu, 8, 2));
+  EXPECT_NEAR(t_sfu.wave_cycles / t_sp.wave_cycles, 4.0, 1e-6);  // 16 vs 4 cyc
+}
+
+TEST(TimingModel, MemToComputeRatioReported) {
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  const auto t_light =
+      simulate_kernel(kSpec, occ, 480, summary_of(make_warp(10000, 10), 8, 2));
+  const auto t_heavy =
+      simulate_kernel(kSpec, occ, 480, summary_of(make_warp(10, 100), 8, 2));
+  EXPECT_LT(t_light.mem_to_compute_ratio, 0.2);
+  EXPECT_GT(t_heavy.mem_to_compute_ratio, 10.0);
+}
+
+TEST(TimingModel, TransferModel) {
+  // 16 MB at 3.2 GB/s + fixed latency.
+  const double secs = transfer_seconds(kSpec, 16ull << 20, 1);
+  EXPECT_NEAR(secs, 15e-6 + (16.0 * 1024 * 1024) / 3.2e9, 1e-9);
+  // Many small transfers pay the per-call latency many times over.
+  EXPECT_GT(transfer_seconds(kSpec, 1 << 20, 1000),
+            10 * transfer_seconds(kSpec, 1 << 20, 1));
+}
+
+TEST(TimingModel, RejectsEmptyTrace) {
+  const auto occ = compute_occupancy(kSpec, {10, 0, 256});
+  TraceSummary empty;
+  EXPECT_THROW(simulate_kernel(kSpec, occ, 1, empty), Error);
+}
+
+// ---- TraceSummary arithmetic -----------------------------------------------------
+
+TEST(TraceSummary, MeansAndFractions) {
+  const auto s = summary_of(make_warp(100, 25), 4, 3);
+  EXPECT_EQ(s.num_warps, 12u);
+  EXPECT_EQ(s.num_blocks, 3u);
+  EXPECT_DOUBLE_EQ(s.warps_per_block(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_global_instructions(), 25.0);
+  EXPECT_DOUBLE_EQ(s.transactions_per_mem_inst(), 2.0);
+  EXPECT_DOUBLE_EQ(s.coalesced_fraction(), 1.0);
+  EXPECT_NEAR(s.fmad_fraction(), 100.0 / 125.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.divergent_branch_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace g80
