@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bankconflict.dir/ablation_bankconflict.cc.o"
+  "CMakeFiles/ablation_bankconflict.dir/ablation_bankconflict.cc.o.d"
+  "ablation_bankconflict"
+  "ablation_bankconflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bankconflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_constant.dir/ablation_constant.cc.o"
+  "CMakeFiles/ablation_constant.dir/ablation_constant.cc.o.d"
+  "ablation_constant"
+  "ablation_constant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_constant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

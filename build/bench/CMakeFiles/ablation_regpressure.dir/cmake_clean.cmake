@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regpressure.dir/ablation_regpressure.cc.o"
+  "CMakeFiles/ablation_regpressure.dir/ablation_regpressure.cc.o.d"
+  "ablation_regpressure"
+  "ablation_regpressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regpressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rotate.dir/ablation_rotate.cc.o"
+  "CMakeFiles/ablation_rotate.dir/ablation_rotate.cc.o.d"
+  "ablation_rotate"
+  "ablation_rotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sfu.dir/ablation_sfu.cc.o"
+  "CMakeFiles/ablation_sfu.dir/ablation_sfu.cc.o.d"
+  "ablation_sfu"
+  "ablation_sfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_texture.cc" "bench/CMakeFiles/ablation_texture.dir/ablation_texture.cc.o" "gcc" "bench/CMakeFiles/ablation_texture.dir/ablation_texture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/g80_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/g80_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudalite/CMakeFiles/g80_cudalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/g80_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/g80_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/occupancy/CMakeFiles/g80_occupancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/g80_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/g80_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/g80_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

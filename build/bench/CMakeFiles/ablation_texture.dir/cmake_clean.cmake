@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_texture.dir/ablation_texture.cc.o"
+  "CMakeFiles/ablation_texture.dir/ablation_texture.cc.o.d"
+  "ablation_texture"
+  "ablation_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

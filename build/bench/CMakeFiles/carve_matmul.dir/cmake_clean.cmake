@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carve_matmul.dir/carve_matmul.cc.o"
+  "CMakeFiles/carve_matmul.dir/carve_matmul.cc.o.d"
+  "carve_matmul"
+  "carve_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carve_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_matmul_tiles.dir/fig4_matmul_tiles.cc.o"
+  "CMakeFiles/fig4_matmul_tiles.dir/fig4_matmul_tiles.cc.o.d"
+  "fig4_matmul_tiles"
+  "fig4_matmul_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_matmul_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

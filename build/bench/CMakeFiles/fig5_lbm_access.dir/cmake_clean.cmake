@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lbm_access.dir/fig5_lbm_access.cc.o"
+  "CMakeFiles/fig5_lbm_access.dir/fig5_lbm_access.cc.o.d"
+  "fig5_lbm_access"
+  "fig5_lbm_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lbm_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

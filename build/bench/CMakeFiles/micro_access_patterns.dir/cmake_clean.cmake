@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_access_patterns.dir/micro_access_patterns.cc.o"
+  "CMakeFiles/micro_access_patterns.dir/micro_access_patterns.cc.o.d"
+  "micro_access_patterns"
+  "micro_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

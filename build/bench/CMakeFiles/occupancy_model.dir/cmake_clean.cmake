@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occupancy_model.dir/occupancy_model.cc.o"
+  "CMakeFiles/occupancy_model.dir/occupancy_model.cc.o.d"
+  "occupancy_model"
+  "occupancy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occupancy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

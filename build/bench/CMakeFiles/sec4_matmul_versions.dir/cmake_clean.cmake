@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_matmul_versions.dir/sec4_matmul_versions.cc.o"
+  "CMakeFiles/sec4_matmul_versions.dir/sec4_matmul_versions.cc.o.d"
+  "sec4_matmul_versions"
+  "sec4_matmul_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_matmul_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator_microbench.dir/simulator_microbench.cc.o"
+  "CMakeFiles/simulator_microbench.dir/simulator_microbench.cc.o.d"
+  "simulator_microbench"
+  "simulator_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_memories.dir/table1_memories.cc.o"
+  "CMakeFiles/table1_memories.dir/table1_memories.cc.o.d"
+  "table1_memories"
+  "table1_memories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_memories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kernel_fraction.dir/table2_kernel_fraction.cc.o"
+  "CMakeFiles/table2_kernel_fraction.dir/table2_kernel_fraction.cc.o.d"
+  "table2_kernel_fraction"
+  "table2_kernel_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kernel_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

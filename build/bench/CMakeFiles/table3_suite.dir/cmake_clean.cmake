@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_suite.dir/table3_suite.cc.o"
+  "CMakeFiles/table3_suite.dir/table3_suite.cc.o.d"
+  "table3_suite"
+  "table3_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_flow.dir/lbm_flow.cpp.o"
+  "CMakeFiles/lbm_flow.dir/lbm_flow.cpp.o.d"
+  "lbm_flow"
+  "lbm_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

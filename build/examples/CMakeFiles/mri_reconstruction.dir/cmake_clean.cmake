@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mri_reconstruction.dir/mri_reconstruction.cpp.o"
+  "CMakeFiles/mri_reconstruction.dir/mri_reconstruction.cpp.o.d"
+  "mri_reconstruction"
+  "mri_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mri_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petri_monte_carlo.dir/petri_monte_carlo.cpp.o"
+  "CMakeFiles/petri_monte_carlo.dir/petri_monte_carlo.cpp.o.d"
+  "petri_monte_carlo"
+  "petri_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petri_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cp/cp.cc" "src/apps/CMakeFiles/g80_apps.dir/cp/cp.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/cp/cp.cc.o.d"
+  "/root/repo/src/apps/fdtd/fdtd.cc" "src/apps/CMakeFiles/g80_apps.dir/fdtd/fdtd.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/fdtd/fdtd.cc.o.d"
+  "/root/repo/src/apps/fem/fem.cc" "src/apps/CMakeFiles/g80_apps.dir/fem/fem.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/fem/fem.cc.o.d"
+  "/root/repo/src/apps/h264/h264.cc" "src/apps/CMakeFiles/g80_apps.dir/h264/h264.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/h264/h264.cc.o.d"
+  "/root/repo/src/apps/lbm/lbm.cc" "src/apps/CMakeFiles/g80_apps.dir/lbm/lbm.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/lbm/lbm.cc.o.d"
+  "/root/repo/src/apps/matmul/matmul.cc" "src/apps/CMakeFiles/g80_apps.dir/matmul/matmul.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/matmul/matmul.cc.o.d"
+  "/root/repo/src/apps/mri/mri_fhd.cc" "src/apps/CMakeFiles/g80_apps.dir/mri/mri_fhd.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/mri/mri_fhd.cc.o.d"
+  "/root/repo/src/apps/mri/mri_q.cc" "src/apps/CMakeFiles/g80_apps.dir/mri/mri_q.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/mri/mri_q.cc.o.d"
+  "/root/repo/src/apps/pns/pns.cc" "src/apps/CMakeFiles/g80_apps.dir/pns/pns.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/pns/pns.cc.o.d"
+  "/root/repo/src/apps/rc5/rc5.cc" "src/apps/CMakeFiles/g80_apps.dir/rc5/rc5.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/rc5/rc5.cc.o.d"
+  "/root/repo/src/apps/rpes/rpes.cc" "src/apps/CMakeFiles/g80_apps.dir/rpes/rpes.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/rpes/rpes.cc.o.d"
+  "/root/repo/src/apps/saxpy/saxpy.cc" "src/apps/CMakeFiles/g80_apps.dir/saxpy/saxpy.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/saxpy/saxpy.cc.o.d"
+  "/root/repo/src/apps/suite.cc" "src/apps/CMakeFiles/g80_apps.dir/suite.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/suite.cc.o.d"
+  "/root/repo/src/apps/tpacf/tpacf.cc" "src/apps/CMakeFiles/g80_apps.dir/tpacf/tpacf.cc.o" "gcc" "src/apps/CMakeFiles/g80_apps.dir/tpacf/tpacf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/g80_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudalite/CMakeFiles/g80_cudalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/g80_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/g80_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/g80_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/g80_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/occupancy/CMakeFiles/g80_occupancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/g80_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_apps.dir/cp/cp.cc.o"
+  "CMakeFiles/g80_apps.dir/cp/cp.cc.o.d"
+  "CMakeFiles/g80_apps.dir/fdtd/fdtd.cc.o"
+  "CMakeFiles/g80_apps.dir/fdtd/fdtd.cc.o.d"
+  "CMakeFiles/g80_apps.dir/fem/fem.cc.o"
+  "CMakeFiles/g80_apps.dir/fem/fem.cc.o.d"
+  "CMakeFiles/g80_apps.dir/h264/h264.cc.o"
+  "CMakeFiles/g80_apps.dir/h264/h264.cc.o.d"
+  "CMakeFiles/g80_apps.dir/lbm/lbm.cc.o"
+  "CMakeFiles/g80_apps.dir/lbm/lbm.cc.o.d"
+  "CMakeFiles/g80_apps.dir/matmul/matmul.cc.o"
+  "CMakeFiles/g80_apps.dir/matmul/matmul.cc.o.d"
+  "CMakeFiles/g80_apps.dir/mri/mri_fhd.cc.o"
+  "CMakeFiles/g80_apps.dir/mri/mri_fhd.cc.o.d"
+  "CMakeFiles/g80_apps.dir/mri/mri_q.cc.o"
+  "CMakeFiles/g80_apps.dir/mri/mri_q.cc.o.d"
+  "CMakeFiles/g80_apps.dir/pns/pns.cc.o"
+  "CMakeFiles/g80_apps.dir/pns/pns.cc.o.d"
+  "CMakeFiles/g80_apps.dir/rc5/rc5.cc.o"
+  "CMakeFiles/g80_apps.dir/rc5/rc5.cc.o.d"
+  "CMakeFiles/g80_apps.dir/rpes/rpes.cc.o"
+  "CMakeFiles/g80_apps.dir/rpes/rpes.cc.o.d"
+  "CMakeFiles/g80_apps.dir/saxpy/saxpy.cc.o"
+  "CMakeFiles/g80_apps.dir/saxpy/saxpy.cc.o.d"
+  "CMakeFiles/g80_apps.dir/suite.cc.o"
+  "CMakeFiles/g80_apps.dir/suite.cc.o.d"
+  "CMakeFiles/g80_apps.dir/tpacf/tpacf.cc.o"
+  "CMakeFiles/g80_apps.dir/tpacf/tpacf.cc.o.d"
+  "libg80_apps.a"
+  "libg80_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

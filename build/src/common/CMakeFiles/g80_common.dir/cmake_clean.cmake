@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_common.dir/rng.cc.o"
+  "CMakeFiles/g80_common.dir/rng.cc.o.d"
+  "CMakeFiles/g80_common.dir/stats.cc.o"
+  "CMakeFiles/g80_common.dir/stats.cc.o.d"
+  "CMakeFiles/g80_common.dir/str.cc.o"
+  "CMakeFiles/g80_common.dir/str.cc.o.d"
+  "CMakeFiles/g80_common.dir/table.cc.o"
+  "CMakeFiles/g80_common.dir/table.cc.o.d"
+  "libg80_common.a"
+  "libg80_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

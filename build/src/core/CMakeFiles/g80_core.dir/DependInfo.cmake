@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/g80_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/g80_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/app.cc" "src/core/CMakeFiles/g80_core.dir/app.cc.o" "gcc" "src/core/CMakeFiles/g80_core.dir/app.cc.o.d"
+  "/root/repo/src/core/autotuner.cc" "src/core/CMakeFiles/g80_core.dir/autotuner.cc.o" "gcc" "src/core/CMakeFiles/g80_core.dir/autotuner.cc.o.d"
+  "/root/repo/src/core/carver.cc" "src/core/CMakeFiles/g80_core.dir/carver.cc.o" "gcc" "src/core/CMakeFiles/g80_core.dir/carver.cc.o.d"
+  "/root/repo/src/core/cpu_calibration.cc" "src/core/CMakeFiles/g80_core.dir/cpu_calibration.cc.o" "gcc" "src/core/CMakeFiles/g80_core.dir/cpu_calibration.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/g80_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/g80_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudalite/CMakeFiles/g80_cudalite.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/g80_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/occupancy/CMakeFiles/g80_occupancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/g80_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/g80_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/g80_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/g80_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

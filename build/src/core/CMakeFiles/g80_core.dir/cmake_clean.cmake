@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_core.dir/advisor.cc.o"
+  "CMakeFiles/g80_core.dir/advisor.cc.o.d"
+  "CMakeFiles/g80_core.dir/app.cc.o"
+  "CMakeFiles/g80_core.dir/app.cc.o.d"
+  "CMakeFiles/g80_core.dir/autotuner.cc.o"
+  "CMakeFiles/g80_core.dir/autotuner.cc.o.d"
+  "CMakeFiles/g80_core.dir/carver.cc.o"
+  "CMakeFiles/g80_core.dir/carver.cc.o.d"
+  "CMakeFiles/g80_core.dir/cpu_calibration.cc.o"
+  "CMakeFiles/g80_core.dir/cpu_calibration.cc.o.d"
+  "CMakeFiles/g80_core.dir/report.cc.o"
+  "CMakeFiles/g80_core.dir/report.cc.o.d"
+  "libg80_core.a"
+  "libg80_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

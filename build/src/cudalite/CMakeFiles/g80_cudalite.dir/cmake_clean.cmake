@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_cudalite.dir/launch.cc.o"
+  "CMakeFiles/g80_cudalite.dir/launch.cc.o.d"
+  "CMakeFiles/g80_cudalite.dir/trace_collect.cc.o"
+  "CMakeFiles/g80_cudalite.dir/trace_collect.cc.o.d"
+  "libg80_cudalite.a"
+  "libg80_cudalite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_cudalite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

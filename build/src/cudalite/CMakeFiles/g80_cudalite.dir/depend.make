@@ -1,0 +1,2 @@
+# Empty dependencies file for g80_cudalite.
+# This may be replaced when dependencies are built.

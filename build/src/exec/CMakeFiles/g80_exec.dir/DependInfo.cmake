@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/block_runner.cc" "src/exec/CMakeFiles/g80_exec.dir/block_runner.cc.o" "gcc" "src/exec/CMakeFiles/g80_exec.dir/block_runner.cc.o.d"
+  "/root/repo/src/exec/fiber.cc" "src/exec/CMakeFiles/g80_exec.dir/fiber.cc.o" "gcc" "src/exec/CMakeFiles/g80_exec.dir/fiber.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/g80_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/g80_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

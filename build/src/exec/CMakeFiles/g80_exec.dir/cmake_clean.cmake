@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_exec.dir/block_runner.cc.o"
+  "CMakeFiles/g80_exec.dir/block_runner.cc.o.d"
+  "CMakeFiles/g80_exec.dir/fiber.cc.o"
+  "CMakeFiles/g80_exec.dir/fiber.cc.o.d"
+  "libg80_exec.a"
+  "libg80_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

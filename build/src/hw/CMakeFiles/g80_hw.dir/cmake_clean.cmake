@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_hw.dir/device_spec.cc.o"
+  "CMakeFiles/g80_hw.dir/device_spec.cc.o.d"
+  "CMakeFiles/g80_hw.dir/isa.cc.o"
+  "CMakeFiles/g80_hw.dir/isa.cc.o.d"
+  "libg80_hw.a"
+  "libg80_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bank_conflict.cc" "src/mem/CMakeFiles/g80_mem.dir/bank_conflict.cc.o" "gcc" "src/mem/CMakeFiles/g80_mem.dir/bank_conflict.cc.o.d"
+  "/root/repo/src/mem/coalescing.cc" "src/mem/CMakeFiles/g80_mem.dir/coalescing.cc.o" "gcc" "src/mem/CMakeFiles/g80_mem.dir/coalescing.cc.o.d"
+  "/root/repo/src/mem/const_cache.cc" "src/mem/CMakeFiles/g80_mem.dir/const_cache.cc.o" "gcc" "src/mem/CMakeFiles/g80_mem.dir/const_cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/g80_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/g80_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/texture_cache.cc" "src/mem/CMakeFiles/g80_mem.dir/texture_cache.cc.o" "gcc" "src/mem/CMakeFiles/g80_mem.dir/texture_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/g80_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/g80_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

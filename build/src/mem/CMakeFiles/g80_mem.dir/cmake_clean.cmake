@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_mem.dir/bank_conflict.cc.o"
+  "CMakeFiles/g80_mem.dir/bank_conflict.cc.o.d"
+  "CMakeFiles/g80_mem.dir/coalescing.cc.o"
+  "CMakeFiles/g80_mem.dir/coalescing.cc.o.d"
+  "CMakeFiles/g80_mem.dir/const_cache.cc.o"
+  "CMakeFiles/g80_mem.dir/const_cache.cc.o.d"
+  "CMakeFiles/g80_mem.dir/dram.cc.o"
+  "CMakeFiles/g80_mem.dir/dram.cc.o.d"
+  "CMakeFiles/g80_mem.dir/texture_cache.cc.o"
+  "CMakeFiles/g80_mem.dir/texture_cache.cc.o.d"
+  "libg80_mem.a"
+  "libg80_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_occupancy.dir/occupancy.cc.o"
+  "CMakeFiles/g80_occupancy.dir/occupancy.cc.o.d"
+  "libg80_occupancy.a"
+  "libg80_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

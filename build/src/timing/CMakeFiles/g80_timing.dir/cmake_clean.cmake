@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g80_timing.dir/model.cc.o"
+  "CMakeFiles/g80_timing.dir/model.cc.o.d"
+  "CMakeFiles/g80_timing.dir/trace.cc.o"
+  "CMakeFiles/g80_timing.dir/trace.cc.o.d"
+  "libg80_timing.a"
+  "libg80_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g80_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

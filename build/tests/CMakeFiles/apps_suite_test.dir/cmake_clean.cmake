@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_suite_test.dir/apps_suite_test.cc.o"
+  "CMakeFiles/apps_suite_test.dir/apps_suite_test.cc.o.d"
+  "apps_suite_test"
+  "apps_suite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_test.dir/lbm_test.cc.o"
+  "CMakeFiles/lbm_test.dir/lbm_test.cc.o.d"
+  "lbm_test"
+  "lbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_model_test.dir/timing_model_test.cc.o"
+  "CMakeFiles/timing_model_test.dir/timing_model_test.cc.o.d"
+  "timing_model_test"
+  "timing_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_grouping_test.dir/trace_grouping_test.cc.o"
+  "CMakeFiles/trace_grouping_test.dir/trace_grouping_test.cc.o.d"
+  "trace_grouping_test"
+  "trace_grouping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
