@@ -4,17 +4,65 @@
 // (e.g. a divergent __syncthreads, an out-of-bounds device access) throws
 // g80::Error with a descriptive message, mirroring how the real CUDA runtime
 // surfaces launch failures.
+//
+// Violations with a CUDA-runtime analogue additionally carry a g80::Status
+// code (the cudaError_t of this simulator).  A StatusError thrown inside a
+// launch is recorded sticky on the Device, so hosts that prefer error-code
+// handling can query device.get_last_error() after catching — or instead of
+// inspecting — the exception.  The throw itself stays as the invariant
+// backstop: no violation is ever silently swallowed.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace g80 {
 
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Structured error codes, mirroring the cudaError_t values a CUDA 0.8 host
+// would see for the same violations.
+enum class Status {
+  kSuccess = 0,
+  kInvalidValue,          // bad host-side argument (zero-size alloc, size overflow)
+  kMemoryAllocation,      // device global memory exhausted (cudaErrorMemoryAllocation)
+  kInvalidConfiguration,  // block/grid dimensions violate hardware limits
+  kLaunchOutOfResources,  // per-SM shared memory or register file exceeded
+  kConstantSpaceExceeded, // 64 KB constant space exhausted
+  kInvalidAddress,        // device access outside an allocation
+  kBarrierDivergence,     // __syncthreads under divergent control flow (g80check)
+  kSharedMemoryRace,      // unsynchronized shared-memory communication (g80check)
+  kLaunchFailure,         // kernel aborted for any other reason
+};
+
+inline std::string_view status_name(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "success";
+    case Status::kInvalidValue: return "invalid value";
+    case Status::kMemoryAllocation: return "out of memory";
+    case Status::kInvalidConfiguration: return "invalid configuration";
+    case Status::kLaunchOutOfResources: return "too many resources requested for launch";
+    case Status::kConstantSpaceExceeded: return "constant space exceeded";
+    case Status::kInvalidAddress: return "invalid device address";
+    case Status::kBarrierDivergence: return "barrier divergence";
+    case Status::kSharedMemoryRace: return "shared memory race";
+    case Status::kLaunchFailure: return "launch failure";
+  }
+  return "unknown status";
+}
+
+class StatusError : public Error {
+ public:
+  StatusError(Status s, const std::string& what) : Error(what), status_(s) {}
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 namespace detail {
@@ -28,6 +76,19 @@ namespace detail {
 }  // namespace detail
 
 }  // namespace g80
+
+// Raise a StatusError with a streamed message when `cond` is violated:
+//   G80_RAISE_IF(i >= n, Status::kInvalidAddress, "load oob: " << i);
+// Use for programming-model violations with a CUDA-runtime analogue;
+// G80_CHECK remains for internal simulator invariants.
+#define G80_RAISE_IF(cond, status, stream_expr)                        \
+  do {                                                                 \
+    if (cond) {                                                        \
+      std::ostringstream g80_os_;                                      \
+      g80_os_ << ::g80::status_name(status) << ": " << stream_expr;    \
+      throw ::g80::StatusError(status, g80_os_.str());                 \
+    }                                                                  \
+  } while (0)
 
 // Always-on invariant check (simulator correctness, not input validation).
 #define G80_CHECK(cond)                                               \

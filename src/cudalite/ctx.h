@@ -63,16 +63,18 @@ class GlobalView {
 
   T ld(std::size_t i,
        const std::source_location& loc = std::source_location::current()) const {
-    G80_CHECK_MSG(i < n_, "global load out of bounds: " << i << " >= " << n_);
+    G80_RAISE_IF(i >= n_, Status::kInvalidAddress,
+                 "global load out of bounds: " << i << " >= " << n_);
     ctx_->rec().mem(OpClass::kLoadGlobal, base_ + i * sizeof(T), sizeof(T),
-                    site_id(loc));
+                    site_id(loc), loc);
     return data_[i];
   }
   void st(std::size_t i, const T& v,
           const std::source_location& loc = std::source_location::current()) {
-    G80_CHECK_MSG(i < n_, "global store out of bounds: " << i << " >= " << n_);
+    G80_RAISE_IF(i >= n_, Status::kInvalidAddress,
+                 "global store out of bounds: " << i << " >= " << n_);
     ctx_->rec().mem(OpClass::kStoreGlobal, base_ + i * sizeof(T), sizeof(T),
-                    site_id(loc));
+                    site_id(loc), loc);
     data_[i] = v;
   }
   std::size_t size() const { return n_; }
@@ -92,16 +94,23 @@ class SharedView {
 
   T ld(std::size_t i,
        const std::source_location& loc = std::source_location::current()) const {
-    G80_CHECK_MSG(i < n_, "shared load out of bounds: " << i << " >= " << n_);
+    G80_RAISE_IF(i >= n_, Status::kInvalidAddress,
+                 "shared load out of bounds: " << i << " >= " << n_);
     ctx_->rec().mem(OpClass::kLoadShared, base_ + i * sizeof(T), sizeof(T),
-                    site_id(loc));
+                    site_id(loc), loc);
     return data_[i];
   }
   void st(std::size_t i, const T& v,
           const std::source_location& loc = std::source_location::current()) {
-    G80_CHECK_MSG(i < n_, "shared store out of bounds: " << i << " >= " << n_);
+    // g80check fault injection may deterministically redirect this store
+    // (FaultInjection::corrupt_store_*); compiled out of normal passes.
+    if constexpr (Recorder::kSanitizing) {
+      i = ctx_->rec().fault_shared_index(i, n_);
+    }
+    G80_RAISE_IF(i >= n_, Status::kInvalidAddress,
+                 "shared store out of bounds: " << i << " >= " << n_);
     ctx_->rec().mem(OpClass::kStoreShared, base_ + i * sizeof(T), sizeof(T),
-                    site_id(loc));
+                    site_id(loc), loc);
     data_[i] = v;
   }
   std::size_t size() const { return n_; }
@@ -121,9 +130,10 @@ class ConstView {
 
   T ld(std::size_t i,
        const std::source_location& loc = std::source_location::current()) const {
-    G80_CHECK_MSG(i < n_, "constant load out of bounds: " << i << " >= " << n_);
+    G80_RAISE_IF(i >= n_, Status::kInvalidAddress,
+                 "constant load out of bounds: " << i << " >= " << n_);
     ctx_->rec().mem(OpClass::kLoadConst, base_ + i * sizeof(T), sizeof(T),
-                    site_id(loc));
+                    site_id(loc), loc);
     return data_[i];
   }
   std::size_t size() const { return n_; }
@@ -143,9 +153,10 @@ class TexView {
 
   T fetch(std::size_t i,
           const std::source_location& loc = std::source_location::current()) const {
-    G80_CHECK_MSG(i < n_, "texture fetch out of bounds: " << i << " >= " << n_);
+    G80_RAISE_IF(i >= n_, Status::kInvalidAddress,
+                 "texture fetch out of bounds: " << i << " >= " << n_);
     ctx_->rec().mem(OpClass::kLoadTexture, base_ + i * sizeof(T), sizeof(T),
-                    site_id(loc));
+                    site_id(loc), loc);
     return data_[i];
   }
   std::size_t size() const { return n_; }
@@ -180,9 +191,16 @@ class Ctx {
   }
 
   // --- Barrier (bar.sync) ---
-  void sync() {
+  void sync(const std::source_location& loc = std::source_location::current()) {
     rec_.count(OpClass::kSync);
-    env_->runner->sync(tid_);
+    // g80check fault injection may skip this thread's barrier
+    // (FaultInjection::skip_barrier_*); compiled out of normal passes.
+    if constexpr (Recorder::kSanitizing) {
+      if (rec_.skip_barrier()) return;
+    }
+    env_->runner->sync(
+        tid_, SyncPoint{site_id(loc), loc.file_name(),
+                        static_cast<int>(loc.line())});
   }
 
   // --- Shared memory (__shared__) ---

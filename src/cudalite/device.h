@@ -5,7 +5,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -126,37 +128,73 @@ class Device {
 
   template <class T>
   DeviceBuffer<T> alloc(std::size_t n) {
-    return DeviceBuffer<T>(this, allocate_range(n * sizeof(T)), n);
+    return DeviceBuffer<T>(this, allocate_range(checked_bytes<T>(n)), n);
   }
 
   template <class T>
   ConstantBuffer<T> alloc_constant(std::size_t n) {
-    const std::uint64_t bytes = n * sizeof(T);
-    G80_CHECK_MSG(constant_used_ + bytes <= kConstantSpaceBytes,
-                  "constant space exhausted (" << kConstantSpaceBytes << " B)");
+    const std::uint64_t bytes = checked_bytes<T>(n);
+    if (constant_used_ + bytes > kConstantSpaceBytes) {
+      raise(Status::kConstantSpaceExceeded,
+            "constant allocation of " + std::to_string(bytes) + " B over " +
+                std::to_string(constant_used_) + " B already used exceeds the " +
+                std::to_string(kConstantSpaceBytes) + " B constant space");
+    }
     constant_used_ += bytes;
     return ConstantBuffer<T>(this, allocate_range(bytes), n);
   }
 
   template <class T>
   Texture1D<T> alloc_texture(std::size_t n) {
-    return Texture1D<T>(this, allocate_range(n * sizeof(T)), n);
+    return Texture1D<T>(this, allocate_range(checked_bytes<T>(n)), n);
   }
 
   std::uint64_t bytes_allocated() const { return next_addr_ - kBaseAddr; }
 
+  // --- Structured error state (cudaGetLastError / cudaPeekAtLastError) ---
+  // The most recent Status raised against this device.  Peek leaves it in
+  // place; get clears it back to kSuccess, exactly like the CUDA runtime.
+  Status peek_last_error() const { return status_; }
+  Status get_last_error() {
+    const Status s = status_;
+    status_ = Status::kSuccess;
+    return s;
+  }
+  void record_status(Status s) { status_ = s; }
+  // Record `s` sticky and throw StatusError.  Hosts choose their style:
+  // catch the exception, or catch-and-ignore then branch on get_last_error().
+  [[noreturn]] void raise(Status s, const std::string& msg) {
+    record_status(s);
+    throw StatusError(s, std::string(status_name(s)) + ": " + msg);
+  }
+
   static constexpr std::uint64_t kConstantSpaceBytes = 64 * 1024;
 
  private:
+  // Validate an element-count request before any address arithmetic: zero
+  // elements and n*sizeof(T) overflow both poison range bookkeeping.
+  template <class T>
+  std::uint64_t checked_bytes(std::size_t n) {
+    if (n == 0) raise(Status::kInvalidValue, "zero-element device allocation");
+    if (n > std::numeric_limits<std::uint64_t>::max() / sizeof(T)) {
+      raise(Status::kInvalidValue,
+            "allocation size overflows: " + std::to_string(n) + " elements of " +
+                std::to_string(sizeof(T)) + " B");
+    }
+    return static_cast<std::uint64_t>(n) * sizeof(T);
+  }
+
   std::uint64_t allocate_range(std::uint64_t bytes) {
     // cudaMalloc-style 256 B alignment keeps row starts on 16-word lines.
     constexpr std::uint64_t kAlign = 256;
     const std::uint64_t addr = (next_addr_ + kAlign - 1) / kAlign * kAlign;
+    if (addr + bytes - kBaseAddr > spec_.global_mem_bytes) {
+      raise(Status::kMemoryAllocation,
+            "device memory exhausted: " + std::to_string(addr + bytes - kBaseAddr) +
+                " B > " + std::to_string(spec_.global_mem_bytes) +
+                " B (the paper's PNS capacity limit, Table 3)");
+    }
     next_addr_ = addr + bytes;
-    G80_CHECK_MSG(bytes_allocated() <= spec_.global_mem_bytes,
-                  "device memory exhausted: "
-                      << bytes_allocated() << " B > " << spec_.global_mem_bytes
-                      << " B (the paper's PNS capacity limit, Table 3)");
     return addr;
   }
 
@@ -166,6 +204,7 @@ class Device {
   TransferLedger ledger_;
   std::uint64_t next_addr_ = kBaseAddr;
   std::uint64_t constant_used_ = 0;
+  Status status_ = Status::kSuccess;
 };
 
 template <class T>

@@ -1,13 +1,16 @@
 // Kernel launching: the cudalite equivalent of kernel<<<grid, block>>>(...).
 //
-// A launch performs (up to) two passes over the same kernel template:
+// A launch performs (up to) three passes over the same kernel template:
 //   1. a TRACE pass over a small sample of blocks, instrumented, feeding the
 //      occupancy calculator and timing model;
-//   2. a FUNCTIONAL pass over the whole grid, uninstrumented, producing the
+//   2. an optional g80check SANITIZE pass over the whole grid
+//      (LaunchOptions::sanitize.enabled) validating barrier and
+//      shared-memory semantics — see sanitizer/sanitizer.h;
+//   3. a FUNCTIONAL pass over the whole grid, uninstrumented, producing the
 //      kernel's actual results.
-// Sampled blocks execute twice, so kernels must be idempotent at block
-// granularity — true of this entire suite (each block writes a disjoint
-// output region from inputs that the launch does not mutate).
+// Sampled blocks execute twice (or more), so kernels must be idempotent at
+// block granularity — true of this entire suite (each block writes a
+// disjoint output region from inputs that the launch does not mutate).
 //
 // For very large grids (the 4096x4096 matmul of §4) callers disable the
 // functional pass and rely on the trace sample for timing; functional
@@ -15,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -24,9 +28,14 @@
 #include "cudalite/trace_collect.h"
 #include "exec/block_runner.h"
 #include "occupancy/occupancy.h"
+#include "sanitizer/recorder.h"
+#include "sanitizer/sanitizer.h"
 #include "timing/model.h"
 
 namespace g80 {
+
+// Ctx instantiation for the g80check sanitize pass.
+using SanitizeCtx = Ctx<SanitizerRecorder>;
 
 struct LaunchOptions {
   // Registers per thread, as the CUDA 0.8 compiler would report (cubin
@@ -42,6 +51,10 @@ struct LaunchOptions {
   bool uses_sync = true;
   // Fiber stack size for kernel threads.
   std::size_t stack_bytes = 128 * 1024;
+  // g80check: opt-in barrier-divergence and shared-memory-race validation
+  // (plus deterministic fault injection).  Adds one extra pass over the
+  // grid; launches with `enabled == false` execute exactly the seed paths.
+  SanitizerOptions sanitize;
 };
 
 struct LaunchStats {
@@ -51,6 +64,8 @@ struct LaunchStats {
   Occupancy occupancy;
   TraceSummary trace;
   KernelTiming timing;
+  // Findings from the g80check pass (empty unless sanitize.enabled).
+  SanitizerReport sanitizer;
 
   // Device-side execution time of this launch.
   double kernel_seconds() const { return timing.seconds; }
@@ -74,15 +89,46 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
                    const Kernel& kernel, Args&&... args) {
   const DeviceSpec& spec = dev.spec();
   const auto threads = static_cast<int>(block.count());
-  G80_CHECK_MSG(threads >= 1 && threads <= spec.max_threads_per_block,
-                "block of " << threads << " threads (max "
-                            << spec.max_threads_per_block << ")");
-  G80_CHECK_MSG(grid.x <= static_cast<unsigned>(spec.max_grid_dim) &&
-                    grid.y <= static_cast<unsigned>(spec.max_grid_dim) &&
-                    grid.z == 1,
-                "grid exceeds 2-D " << spec.max_grid_dim << " limit");
+
+  // ---- Launch-configuration validation ----
+  // Every violation records a sticky Status on the device (queryable via
+  // get_last_error) and throws StatusError with full context.
+  if (threads < 1 || threads > spec.max_threads_per_block) {
+    dev.raise(Status::kInvalidConfiguration,
+              "block of " + std::to_string(threads) + " threads exceeds the " +
+                  std::to_string(spec.max_threads_per_block) +
+                  " threads/block hardware limit");
+  }
+  if (grid.z != 1) {
+    dev.raise(Status::kInvalidConfiguration,
+              "grid.z = " + std::to_string(grid.z) +
+                  ": G80 grids are 2-D (grid.z must be 1)");
+  }
+  if (grid.x > static_cast<unsigned>(spec.max_grid_dim) ||
+      grid.y > static_cast<unsigned>(spec.max_grid_dim)) {
+    dev.raise(Status::kInvalidConfiguration,
+              "grid " + std::to_string(grid.x) + "x" + std::to_string(grid.y) +
+                  " exceeds the " + std::to_string(spec.max_grid_dim) +
+                  " blocks/dimension limit");
+  }
   const std::uint64_t total_blocks = grid.count();
-  G80_CHECK(total_blocks >= 1);
+  if (total_blocks < 1) {
+    dev.raise(Status::kInvalidConfiguration, "empty grid");
+  }
+  // One block's registers must fit the SM's file (allocated in
+  // register_alloc_unit chunks) or the launch can never be scheduled.
+  const long long unit = spec.register_alloc_unit;
+  const long long block_regs =
+      (static_cast<long long>(opt.regs_per_thread) * threads + unit - 1) / unit *
+      unit;
+  if (block_regs > spec.registers_per_sm) {
+    dev.raise(Status::kLaunchOutOfResources,
+              "block needs " + std::to_string(block_regs) + " registers (" +
+                  std::to_string(opt.regs_per_thread) + "/thread x " +
+                  std::to_string(threads) + " threads, allocated in chunks of " +
+                  std::to_string(unit) + ") but the SM register file holds " +
+                  std::to_string(spec.registers_per_sm));
+  }
 
   BlockRunner runner(opt.uses_sync ? threads : 1, spec.shared_mem_per_sm,
                      opt.stack_bytes);
@@ -99,37 +145,80 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
   stats.block = block;
   stats.regs_per_thread = opt.regs_per_thread;
 
-  // ---- Trace pass ----
-  const auto samples = detail::pick_sample_blocks(total_blocks, opt.sample_blocks);
-  std::vector<BlockTrace> traces;
-  traces.reserve(samples.size());
-  std::vector<LaneTrace> lanes(threads);
-  for (const std::uint64_t b : samples) {
-    BlockEnv env{&runner, grid, block, delinearize(static_cast<unsigned>(b), grid)};
-    for (auto& l : lanes) l.clear();
-    run_block([&](int tid) {
-      TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
-      kernel(ctx, args...);
-    });
-    traces.push_back(collect_block_trace(spec, lanes));
-  }
-  stats.smem_per_block = runner.shared().bytes_used();
-  stats.trace = TraceSummary::summarize(traces);
-
-  // ---- Occupancy + timing ----
-  const KernelResources res{opt.regs_per_thread, stats.smem_per_block, threads};
-  stats.occupancy = compute_occupancy(spec, res);
-  stats.timing = simulate_kernel(spec, stats.occupancy, total_blocks, stats.trace);
-
-  // ---- Functional pass ----
-  if (opt.functional) {
-    for (std::uint64_t b = 0; b < total_blocks; ++b) {
-      BlockEnv env{&runner, grid, block, delinearize(static_cast<unsigned>(b), grid)};
+  try {
+    // ---- Trace pass ----
+    const auto samples =
+        detail::pick_sample_blocks(total_blocks, opt.sample_blocks);
+    std::vector<BlockTrace> traces;
+    traces.reserve(samples.size());
+    std::vector<LaneTrace> lanes(threads);
+    for (const std::uint64_t b : samples) {
+      BlockEnv env{&runner, grid, block,
+                   delinearize(static_cast<unsigned>(b), grid)};
+      for (auto& l : lanes) l.clear();
       run_block([&](int tid) {
-        FuncCtx ctx(&env, tid, NullRecorder{});
+        TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
         kernel(ctx, args...);
       });
+      traces.push_back(collect_block_trace(spec, lanes));
     }
+    stats.smem_per_block = runner.shared().bytes_used();
+    stats.trace = TraceSummary::summarize(traces);
+
+    // ---- Occupancy + timing ----
+    const KernelResources res{opt.regs_per_thread, stats.smem_per_block,
+                              threads};
+    stats.occupancy = compute_occupancy(spec, res);
+    stats.timing =
+        simulate_kernel(spec, stats.occupancy, total_blocks, stats.trace);
+
+    // ---- g80check sanitize pass ----
+    // Full-grid pass under Ctx<SanitizerRecorder>: shadow memory watches
+    // every shared access, the runner reports every barrier release, and
+    // any configured fault injection perturbs this pass only.  Runs before
+    // the functional pass so an injected corruption cannot leak into
+    // results the host reads (blocks are idempotent; the functional pass
+    // rewrites every output).
+    if (opt.sanitize.enabled) {
+      Sanitizer san(opt.sanitize, spec.shared_mem_per_sm);
+      runner.set_barrier_observer(&san);
+      for (std::uint64_t b = 0; b < total_blocks; ++b) {
+        BlockEnv env{&runner, grid, block,
+                     delinearize(static_cast<unsigned>(b), grid)};
+        san.begin_block(b);
+        run_block([&](int tid) {
+          SanitizeCtx ctx(&env, tid, SanitizerRecorder(&san, tid));
+          kernel(ctx, args...);
+        });
+      }
+      runner.set_barrier_observer(nullptr);
+      stats.sanitizer = san.report();
+      if (!stats.sanitizer.clean()) {
+        dev.record_status(stats.sanitizer.findings.front().status);
+        if (opt.sanitize.abort_on_error) {
+          throw StatusError(stats.sanitizer.findings.front().status,
+                            stats.sanitizer.summary());
+        }
+      }
+    }
+
+    // ---- Functional pass ----
+    if (opt.functional) {
+      for (std::uint64_t b = 0; b < total_blocks; ++b) {
+        BlockEnv env{&runner, grid, block,
+                     delinearize(static_cast<unsigned>(b), grid)};
+        run_block([&](int tid) {
+          FuncCtx ctx(&env, tid, NullRecorder{});
+          kernel(ctx, args...);
+        });
+      }
+    }
+  } catch (const StatusError& e) {
+    dev.record_status(e.status());
+    throw;
+  } catch (const Error&) {
+    dev.record_status(Status::kLaunchFailure);
+    throw;
   }
   return stats;
 }

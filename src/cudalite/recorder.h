@@ -8,25 +8,32 @@
 #pragma once
 
 #include <cstdint>
+#include <source_location>
 
 #include "cudalite/lane_trace.h"
 #include "hw/isa.h"
 
 namespace g80 {
 
+// A third instantiation, Ctx<SanitizerRecorder> (sanitizer/recorder.h),
+// drives the g80check pass.  Recorders advertise `kSanitizing` so Ctx can
+// compile the fault-injection hooks out of the other two entirely.
+
 struct NullRecorder {
   static constexpr bool kTracing = false;
+  static constexpr bool kSanitizing = false;
 
   void count(OpClass, int = 1) {}
   void flops(double) {}
   void mem(OpClass, std::uint64_t /*addr*/, std::uint32_t /*size*/,
-           std::uint32_t /*site*/) {}
+           std::uint32_t /*site*/, const std::source_location& /*loc*/) {}
   void branch_outcome(bool, std::uint32_t /*site*/) {}
 };
 
 class LaneRecorder {
  public:
   static constexpr bool kTracing = true;
+  static constexpr bool kSanitizing = false;
 
   explicit LaneRecorder(LaneTrace* lane) : lane_(lane) {}
 
@@ -36,7 +43,7 @@ class LaneRecorder {
   void flops(double f) { lane_->flops += f; }
 
   void mem(OpClass c, std::uint64_t addr, std::uint32_t size,
-           std::uint32_t site) {
+           std::uint32_t site, const std::source_location& /*loc*/) {
     count(c);
     const MemAccess a{addr, size, site, true};
     switch (c) {

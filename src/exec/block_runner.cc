@@ -31,9 +31,9 @@ std::byte* SharedArena::allocate(int tid, std::size_t bytes) {
   }
   G80_CHECK_MSG(idx == layout_.size(), "non-sequential shared allocation");
   const std::size_t offset = (layout_end_ + kAlign - 1) / kAlign * kAlign;
-  G80_CHECK_MSG(offset + bytes <= storage_.size(),
-                "shared memory overflow: " << offset + bytes << " B > "
-                                           << storage_.size() << " B arena");
+  G80_RAISE_IF(offset + bytes > storage_.size(), Status::kLaunchOutOfResources,
+               "shared memory overflow: block needs " << offset + bytes
+                   << " B of the SM's " << storage_.size() << " B");
   layout_.emplace_back(offset, bytes);
   layout_end_ = offset + bytes;
   return storage_.data() + offset;
@@ -46,11 +46,12 @@ BlockRunner::BlockRunner(int max_threads, std::size_t smem_capacity,
   status_.reserve(max_threads);
 }
 
-void BlockRunner::sync(int tid) {
-  G80_CHECK_MSG(!direct_mode_,
-                "__syncthreads called in a launch declared barrier-free "
-                "(LaunchOptions::uses_sync == false)");
+void BlockRunner::sync(int tid, SyncPoint at) {
+  G80_RAISE_IF(direct_mode_, Status::kInvalidConfiguration,
+               "__syncthreads called in a launch declared barrier-free "
+               "(LaunchOptions::uses_sync == false)");
   status_.at(tid) = ThreadStatus::kAtBarrier;
+  sync_points_[tid] = at;
   fibers_[tid]->yield();
   // Resumed: the barrier released.
   status_[tid] = ThreadStatus::kRunning;
@@ -75,6 +76,8 @@ void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
   while (static_cast<int>(fibers_.size()) < num_threads)
     fibers_.push_back(std::make_unique<Fiber>(stack_bytes_));
   status_.assign(num_threads, ThreadStatus::kRunning);
+  sync_points_.assign(num_threads, SyncPoint{});
+  exited_this_interval_.clear();
   shared_.begin_block();
   barriers_executed_ = 0;
 
@@ -93,6 +96,7 @@ void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
       if (st == Fiber::State::kDone) {
         status_[t] = ThreadStatus::kDone;
         --live;
+        if (observer_) exited_this_interval_.push_back(t);
       }
       // kSuspended means sync() parked it; status_ already kAtBarrier.
     }
@@ -103,6 +107,16 @@ void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
     // that already exited no longer participate — the behaviour observed on
     // the real hardware (CUDA leaves a barrier reached by a strict subset
     // undefined; G80 barriers count only active threads).
+    if (observer_) {
+      BarrierSnapshot snap;
+      snap.epoch = barriers_executed_;
+      for (int t = 0; t < num_threads; ++t)
+        if (status_[t] == ThreadStatus::kAtBarrier)
+          snap.waiting.push_back({t, sync_points_[t]});
+      snap.exited = exited_this_interval_;
+      exited_this_interval_.clear();
+      observer_->on_barrier_release(snap);
+    }
     ++barriers_executed_;
     for (int t = 0; t < num_threads; ++t)
       if (status_[t] == ThreadStatus::kAtBarrier)

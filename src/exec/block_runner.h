@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -18,6 +19,34 @@
 #include "exec/fiber.h"
 
 namespace g80 {
+
+// Static identity of one __syncthreads() call site, carried from the kernel
+// source into barrier bookkeeping so diagnostics can name the barrier.
+struct SyncPoint {
+  std::uint32_t site = 0;        // site_id hash (0 = unknown, e.g. raw tests)
+  const char* file = nullptr;    // kernel source file of the sync() call
+  int line = 0;
+};
+
+// Snapshot handed to a BarrierObserver at every barrier release: who is
+// parked where, and who exited the kernel since the previous release.
+struct BarrierSnapshot {
+  struct Waiter {
+    int tid = 0;
+    SyncPoint at;
+  };
+  int epoch = 0;                 // barrier generation being released (0-based)
+  std::vector<Waiter> waiting;
+  std::vector<int> exited;       // tids that ran to completion this interval
+};
+
+// Callback interface for barrier-semantics validation (g80check).  The
+// runner invokes it only when attached; detached runs pay one branch.
+class BarrierObserver {
+ public:
+  virtual ~BarrierObserver() = default;
+  virtual void on_barrier_release(const BarrierSnapshot& snap) = 0;
+};
 
 // Per-block shared memory arena.  All threads of a block must perform the
 // same sequence of allocations (mirroring CUDA's static __shared__ layout);
@@ -59,13 +88,18 @@ class BlockRunner {
   // kernel lied about being barrier-free.
   void run_direct(int num_threads, const std::function<void(int)>& body);
 
-  // Barrier entry point, called from inside a thread body.
-  void sync(int tid);
+  // Barrier entry point, called from inside a thread body.  The SyncPoint
+  // overload lets diagnostics name the kernel-source barrier.
+  void sync(int tid) { sync(tid, SyncPoint{}); }
+  void sync(int tid, SyncPoint at);
 
   SharedArena& shared() { return shared_; }
 
   // Number of barrier generations completed in the last run (for tracing).
   int barriers_executed() const { return barriers_executed_; }
+
+  // Attach/detach a barrier-semantics observer (g80check).  Null detaches.
+  void set_barrier_observer(BarrierObserver* obs) { observer_ = obs; }
 
  private:
   enum class ThreadStatus { kRunning, kAtBarrier, kDone };
@@ -73,9 +107,12 @@ class BlockRunner {
   std::size_t stack_bytes_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<ThreadStatus> status_;
+  std::vector<SyncPoint> sync_points_;  // where each parked thread waits
+  std::vector<int> exited_this_interval_;
   SharedArena shared_;
   int barriers_executed_ = 0;
   bool direct_mode_ = false;
+  BarrierObserver* observer_ = nullptr;
 };
 
 }  // namespace g80

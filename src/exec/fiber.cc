@@ -4,7 +4,45 @@
 
 #include "common/error.h"
 
+// AddressSanitizer must be told about every stack switch, or its shadow
+// memory still describes the old stack and fake-stack frames are freed under
+// a live fiber.  The annotations follow the protocol in
+// <sanitizer/common_interface_defs.h>: start_switch before leaving a
+// context, finish_switch immediately after arriving in one.
+#if defined(__SANITIZE_ADDRESS__)
+#define G80_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define G80_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef G80_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace g80 {
+namespace {
+
+inline void asan_start_switch(void** fake_stack_save, const void* bottom,
+                              std::size_t size) {
+#ifdef G80_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save; (void)bottom; (void)size;
+#endif
+}
+
+inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
+                               std::size_t* size_old) {
+#ifdef G80_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+  (void)fake_stack_save; (void)bottom_old; (void)size_old;
+#endif
+}
+
+}  // namespace
 
 Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {
   G80_CHECK(stack_bytes >= 16 * 1024);
@@ -40,6 +78,9 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 }
 
 void Fiber::run_body() {
+  // First entry onto this stack: no fake stack to restore (nullptr), and
+  // learn the scheduler's stack bounds for the yields/exit that follow.
+  asan_finish_switch(nullptr, &sched_stack_bottom_, &sched_stack_size_);
   try {
     body_();
   } catch (...) {
@@ -47,13 +88,18 @@ void Fiber::run_body() {
   }
   state_ = State::kDone;
   // Falling off the trampoline returns via uc_link to return_context_.
+  // nullptr fake-stack save: this fiber's frames are dead after the switch.
+  asan_start_switch(nullptr, sched_stack_bottom_, sched_stack_size_);
 }
 
 Fiber::State Fiber::resume() {
   G80_CHECK_MSG(state_ == State::kRunnable || state_ == State::kSuspended,
                 "resume of a fiber that is not paused");
   state_ = State::kRunnable;
+  void* fake_stack_save = nullptr;
+  asan_start_switch(&fake_stack_save, stack_.data(), stack_.size());
   G80_CHECK(swapcontext(&return_context_, &context_) == 0);
+  asan_finish_switch(fake_stack_save, nullptr, nullptr);
   if (pending_exception_) {
     auto ex = pending_exception_;
     pending_exception_ = nullptr;
@@ -64,7 +110,10 @@ Fiber::State Fiber::resume() {
 
 void Fiber::yield() {
   state_ = State::kSuspended;
+  void* fake_stack_save = nullptr;
+  asan_start_switch(&fake_stack_save, sched_stack_bottom_, sched_stack_size_);
   G80_CHECK(swapcontext(&context_, &return_context_) == 0);
+  asan_finish_switch(fake_stack_save, nullptr, nullptr);
 }
 
 }  // namespace g80

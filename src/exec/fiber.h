@@ -49,6 +49,10 @@ class Fiber {
   std::function<void()> body_;
   std::exception_ptr pending_exception_;
   State state_ = State::kIdle;
+  // Scheduler-stack bounds, learned on first entry; used by the ASan
+  // fiber-switch annotations (no-ops in non-sanitized builds).
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
 };
 
 }  // namespace g80

@@ -1,0 +1,112 @@
+// g80check — a cuda-memcheck/compute-sanitizer-style validation layer for
+// the simulator's execution stack.
+//
+// The two behaviours the paper (§2) declares *undefined* on the 8800 GTX —
+// a __syncthreads() executed under divergent control flow, and
+// unsynchronized shared-memory communication between threads — execute
+// silently in an unchecked simulator and would produce plausible-but-wrong
+// Table 3 numbers for a buggy application port.  When enabled
+// (LaunchOptions::sanitize.enabled), launch() runs one extra pass over the
+// grid with Ctx<SanitizerRecorder>; the recorder feeds shared-memory
+// accesses into shadow memory (shadow.h) and the BlockRunner reports every
+// barrier release through the BarrierObserver hook.  Disabled launches use
+// the unmodified NullRecorder path and pay nothing.
+//
+// Deterministic fault injection (FaultInjection) perturbs a chosen access or
+// skips a chosen barrier in the sanitize pass only, so tests can prove the
+// detectors catch exactly what they claim.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "exec/block_runner.h"
+#include "sanitizer/shadow.h"
+
+namespace g80 {
+
+// Deterministic fault injection, applied during the sanitize pass only.
+// Indices are per-block dynamic counts: "thread T's n-th shared store" /
+// "thread T's n-th __syncthreads()".
+struct FaultInjection {
+  // Skip this thread's n-th barrier, making it run ahead of (or exit while)
+  // the rest of the block — the classic divergent-__syncthreads bug.
+  int skip_barrier_tid = -1;  // -1 disables
+  int skip_barrier_index = 0;
+  // Redirect this thread's n-th shared store by `corrupt_offset_words`
+  // words (wrapping within the view), colliding with another thread's slot.
+  int corrupt_store_tid = -1;  // -1 disables
+  int corrupt_store_index = 0;
+  std::uint32_t corrupt_offset_words = 1;
+  // Linear block index the faults apply to; -1 applies to every block.
+  std::int64_t block = 0;
+};
+
+struct SanitizerOptions {
+  bool enabled = false;
+  // Throw StatusError (after recording the sticky device status) when the
+  // sanitize pass produced findings.  With false, findings are only
+  // reported through LaunchStats::sanitizer for host-side inspection.
+  bool abort_on_error = true;
+  std::size_t max_findings = 16;
+  FaultInjection fault;
+};
+
+struct Finding {
+  Status status = Status::kSuccess;
+  std::uint64_t block = 0;  // linear index of the first block exhibiting it
+  std::string message;
+};
+
+struct SanitizerReport {
+  std::vector<Finding> findings;
+  std::uint64_t blocks_checked = 0;
+  std::uint64_t shared_reads = 0;
+  std::uint64_t shared_writes = 0;
+  std::uint64_t barriers_checked = 0;
+
+  bool clean() const { return findings.empty(); }
+  bool has(Status s) const;
+  // Multi-line human-readable report, one line per finding.
+  std::string summary() const;
+};
+
+class Sanitizer final : public BarrierObserver {
+ public:
+  Sanitizer(const SanitizerOptions& opt, std::size_t smem_capacity);
+
+  // Reset per-block state before running block `linear_block`.
+  void begin_block(std::uint64_t linear_block);
+
+  // BarrierObserver: divergence checks at every barrier release.
+  void on_barrier_release(const BarrierSnapshot& snap) override;
+
+  // SanitizerRecorder hooks (offset is bytes into the shared arena).
+  void on_shared_read(int tid, std::uint64_t offset, std::uint32_t size,
+                      const AccessSite& site);
+  void on_shared_write(int tid, std::uint64_t offset, std::uint32_t size,
+                       const AccessSite& site);
+
+  // Fault-injection queries (see FaultInjection).
+  bool should_skip_barrier(int tid, int sync_index) const;
+  std::size_t fault_shared_store_index(int tid, int store_index, std::size_t i,
+                                       std::size_t n) const;
+
+  const SanitizerReport& report() const { return report_; }
+
+ private:
+  void add_finding(Status s, const std::string& message);
+  bool fault_applies(int tid, int index, int want_tid, int want_index) const;
+
+  SanitizerOptions opt_;
+  SharedShadow shadow_;
+  SanitizerReport report_;
+  std::set<std::string> seen_;  // dedup identical diagnostics across blocks
+  std::uint64_t block_ = 0;
+  int epoch_ = 0;  // barrier epoch of the block currently executing
+};
+
+}  // namespace g80

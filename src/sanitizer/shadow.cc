@@ -1,0 +1,108 @@
+#include "sanitizer/shadow.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace g80 {
+
+std::string access_site_str(const AccessSite& site) {
+  if (!site.file) return "<unknown site>";
+  const char* base = site.file;
+  for (const char* p = site.file; *p; ++p)
+    if (*p == '/' || *p == '\\') base = p + 1;
+  std::ostringstream os;
+  os << base << ":" << site.line;
+  return os.str();
+}
+
+namespace {
+
+std::string race_message(const char* kind, std::uint64_t word, int tid_now,
+                         const AccessSite& site_now, const char* verb_prev,
+                         int tid_prev, const AccessSite& site_prev, int epoch) {
+  std::ostringstream os;
+  os << kind << " race on shared word at byte offset " << word * 4
+     << ": thread " << tid_now << " at " << access_site_str(site_now)
+     << " conflicts with thread " << tid_prev << "'s " << verb_prev << " at "
+     << access_site_str(site_prev) << " in barrier epoch " << epoch
+     << " (no __syncthreads between them)";
+  return os.str();
+}
+
+}  // namespace
+
+SharedShadow::SharedShadow(std::size_t smem_bytes)
+    : words_((smem_bytes + 3) / 4) {}
+
+void SharedShadow::reset() {
+  std::fill(words_.begin(), words_.end(), Word{});
+}
+
+std::optional<std::string> SharedShadow::check_word(std::uint64_t word, int tid,
+                                                    int epoch,
+                                                    const AccessSite& site,
+                                                    bool is_write) {
+  if (word >= words_.size()) return std::nullopt;  // arena oob handled upstream
+  Word& w = words_[word];
+  std::optional<std::string> race;
+
+  const auto conflicts = [&](const Access& prev) {
+    return prev.valid() && prev.epoch == epoch && prev.tid != tid;
+  };
+
+  if (is_write) {
+    if (conflicts(w.writer)) {
+      race = race_message("write-write", word, tid, site, "write", w.writer.tid,
+                          w.writer.site, epoch);
+    } else if (conflicts(w.reader0)) {
+      race = race_message("read-write", word, tid, site, "read", w.reader0.tid,
+                          w.reader0.site, epoch);
+    } else if (conflicts(w.reader1)) {
+      race = race_message("read-write", word, tid, site, "read", w.reader1.tid,
+                          w.reader1.site, epoch);
+    }
+    w.writer = {tid, epoch, site};
+    // A new write supersedes older read history for race purposes.
+    w.reader0 = w.reader1 = Access{};
+  } else {
+    if (conflicts(w.writer)) {
+      race = race_message("write-read", word, tid, site, "write", w.writer.tid,
+                          w.writer.site, epoch);
+    }
+    // Keep up to two distinct reading threads so a later write by either of
+    // them still sees a conflicting reader in the other slot.
+    if (!w.reader0.valid() || w.reader0.tid == tid) {
+      w.reader0 = {tid, epoch, site};
+    } else {
+      w.reader1 = {tid, epoch, site};
+    }
+  }
+  return race;
+}
+
+std::optional<std::string> SharedShadow::on_write(int tid, int epoch,
+                                                  std::uint64_t offset,
+                                                  std::uint32_t size,
+                                                  const AccessSite& site) {
+  // Update every covered word; report the first race the access completes.
+  std::optional<std::string> race;
+  const std::uint64_t first = offset / 4, last = (offset + size - 1) / 4;
+  for (std::uint64_t w = first; w <= last; ++w)
+    if (auto r = check_word(w, tid, epoch, site, /*is_write=*/true); r && !race)
+      race = std::move(r);
+  return race;
+}
+
+std::optional<std::string> SharedShadow::on_read(int tid, int epoch,
+                                                 std::uint64_t offset,
+                                                 std::uint32_t size,
+                                                 const AccessSite& site) {
+  std::optional<std::string> race;
+  const std::uint64_t first = offset / 4, last = (offset + size - 1) / 4;
+  for (std::uint64_t w = first; w <= last; ++w)
+    if (auto r = check_word(w, tid, epoch, site, /*is_write=*/false); r && !race)
+      race = std::move(r);
+  return race;
+}
+
+}  // namespace g80

@@ -1,0 +1,62 @@
+// Shadow memory over an SM's shared-memory arena (g80check racecheck).
+//
+// One shadow cell per 32-bit word tracks the last writer and up to two
+// distinct readers, each tagged with (tid, barrier epoch, call site).  Two
+// accesses to the same word race when they come from different threads in
+// the same barrier epoch and at least one is a write — exactly the
+// "unsynchronized shared-memory communication" the paper (§2) declares
+// undefined on the 8800 GTX.  Both call sites are reported so the diagnostic
+// names the producer and the consumer in kernel source.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace g80 {
+
+// Static identity of a device-memory access in kernel source.
+struct AccessSite {
+  std::uint32_t id = 0;
+  const char* file = nullptr;
+  int line = 0;
+};
+
+// Renders "file:line" with the path trimmed to its basename.
+std::string access_site_str(const AccessSite& site);
+
+class SharedShadow {
+ public:
+  explicit SharedShadow(std::size_t smem_bytes);
+
+  // Forget all access history (call at the start of each block).
+  void reset();
+
+  // Record an access covering [offset, offset+size) bytes of the arena in
+  // barrier epoch `epoch`.  Returns a diagnostic describing the first race
+  // this access completes, or nullopt when it is race-free.
+  std::optional<std::string> on_write(int tid, int epoch, std::uint64_t offset,
+                                      std::uint32_t size, const AccessSite& site);
+  std::optional<std::string> on_read(int tid, int epoch, std::uint64_t offset,
+                                     std::uint32_t size, const AccessSite& site);
+
+ private:
+  struct Access {
+    int tid = -1;
+    int epoch = -1;
+    AccessSite site;
+    bool valid() const { return tid >= 0; }
+  };
+  struct Word {
+    Access writer;
+    Access reader0, reader1;  // two distinct-thread reader slots
+  };
+
+  std::optional<std::string> check_word(std::uint64_t word, int tid, int epoch,
+                                        const AccessSite& site, bool is_write);
+
+  std::vector<Word> words_;
+};
+
+}  // namespace g80

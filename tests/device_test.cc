@@ -2,6 +2,8 @@
 // bookkeeping, and CPU-baseline calibration.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.h"
 #include "core/cpu_calibration.h"
 #include "cudalite/device.h"
@@ -70,6 +72,28 @@ TEST(Device, GlobalMemoryExhaustionThrows) {
   Device dev(tiny);
   (void)dev.alloc<float>(200'000);  // 800 KB fits
   EXPECT_THROW(dev.alloc<float>(200'000), Error);  // next 800 KB does not
+  EXPECT_EQ(dev.get_last_error(), Status::kMemoryAllocation);
+  // A failed allocation consumes no address space: a fitting one succeeds.
+  EXPECT_NO_THROW(dev.alloc<float>(10'000));
+}
+
+TEST(Device, ZeroElementAllocationRejected) {
+  Device dev;
+  EXPECT_THROW(dev.alloc<float>(0), StatusError);
+  EXPECT_EQ(dev.get_last_error(), Status::kInvalidValue);
+  EXPECT_THROW(dev.alloc_constant<float>(0), StatusError);
+  EXPECT_THROW(dev.alloc_texture<float>(0), StatusError);
+  EXPECT_EQ(dev.bytes_allocated(), 0u);
+}
+
+TEST(Device, AllocationSizeOverflowRejected) {
+  Device dev;
+  // n * sizeof(T) wraps 64 bits — must be rejected before any address
+  // arithmetic, not after it silently wraps past the capacity check.
+  const auto huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(dev.alloc<double>(huge), StatusError);
+  EXPECT_EQ(dev.get_last_error(), Status::kInvalidValue);
+  EXPECT_EQ(dev.bytes_allocated(), 0u);
 }
 
 TEST(Device, BufferFillAndCopy) {

@@ -4,6 +4,9 @@
 // kernels small enough to have hand-computable expectations.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "common/error.h"
 #include "cudalite/ctx.h"
 #include "cudalite/device.h"
@@ -370,6 +373,112 @@ TEST(Launch, ConstantSpaceExhaustionThrows) {
   Device dev;
   (void)dev.alloc_constant<float>(12 * 1024);      // 48 KB
   EXPECT_THROW(dev.alloc_constant<float>(8 * 1024), Error);  // +32 KB > 64 KB
+}
+
+// ---- Structured launch errors (g80::Status, cudaError_t-style) ----------------
+
+// Catch a StatusError from `fn`, returning its code and message.
+template <class Fn>
+std::pair<Status, std::string> catch_status(Fn&& fn) {
+  try {
+    fn();
+  } catch (const StatusError& e) {
+    return {e.status(), e.what()};
+  }
+  return {Status::kSuccess, "no error raised"};
+}
+
+TEST(LaunchStatus, OversizedBlockIsInvalidConfiguration) {
+  Device dev;
+  auto d = dev.alloc<float>(16);
+  const auto [code, msg] = catch_status([&] {
+    launch(dev, Dim3(1), Dim3(1024), LaunchOptions{}, Mad4Kernel{}, d);
+  });
+  EXPECT_EQ(code, Status::kInvalidConfiguration);
+  EXPECT_NE(msg.find("1024"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("512"), std::string::npos) << msg;  // the hardware limit
+  // Sticky until read, then cleared — the cudaGetLastError contract.
+  EXPECT_EQ(dev.get_last_error(), Status::kInvalidConfiguration);
+  EXPECT_EQ(dev.get_last_error(), Status::kSuccess);
+}
+
+TEST(LaunchStatus, GridDimensionOverflowIsInvalidConfiguration) {
+  Device dev;
+  auto d = dev.alloc<float>(16);
+  const auto [code, msg] = catch_status([&] {
+    launch(dev, Dim3(70000), Dim3(64), LaunchOptions{}, Mad4Kernel{}, d);
+  });
+  EXPECT_EQ(code, Status::kInvalidConfiguration);
+  EXPECT_NE(msg.find("70000"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("65535"), std::string::npos) << msg;
+  EXPECT_EQ(dev.get_last_error(), Status::kInvalidConfiguration);
+}
+
+TEST(LaunchStatus, ThreeDimensionalGridIsInvalidConfiguration) {
+  Device dev;
+  auto d = dev.alloc<float>(16);
+  const auto [code, msg] = catch_status([&] {
+    launch(dev, Dim3(4, 4, 2), Dim3(64), LaunchOptions{}, Mad4Kernel{}, d);
+  });
+  EXPECT_EQ(code, Status::kInvalidConfiguration);
+  EXPECT_NE(msg.find("grid.z"), std::string::npos) << msg;
+  EXPECT_EQ(dev.get_last_error(), Status::kInvalidConfiguration);
+}
+
+TEST(LaunchStatus, RegisterFileExhaustionIsLaunchOutOfResources) {
+  Device dev;
+  auto d = dev.alloc<float>(16);
+  LaunchOptions opt;
+  opt.regs_per_thread = 40;  // 40 x 512 = 20480 regs > 8192/SM
+  const auto [code, msg] = catch_status([&] {
+    launch(dev, Dim3(1), Dim3(512), opt, Mad4Kernel{}, d);
+  });
+  EXPECT_EQ(code, Status::kLaunchOutOfResources);
+  EXPECT_NE(msg.find("register"), std::string::npos) << msg;
+  EXPECT_EQ(dev.get_last_error(), Status::kLaunchOutOfResources);
+}
+
+TEST(LaunchStatus, SharedMemoryOverflowIsLaunchOutOfResources) {
+  Device dev;
+  auto d = dev.alloc<float>(16);
+  const auto [code, msg] = catch_status([&] {
+    launch(dev, Dim3(1), Dim3(32), LaunchOptions{}, HugeSharedKernel{}, d);
+  });
+  EXPECT_EQ(code, Status::kLaunchOutOfResources);
+  EXPECT_NE(msg.find("shared memory overflow"), std::string::npos) << msg;
+  EXPECT_EQ(dev.get_last_error(), Status::kLaunchOutOfResources);
+}
+
+TEST(LaunchStatus, ConstantSpaceExhaustionIsStructured) {
+  Device dev;
+  (void)dev.alloc_constant<float>(12 * 1024);  // 48 KB of the 64 KB space
+  const auto [code, msg] =
+      catch_status([&] { (void)dev.alloc_constant<float>(8 * 1024); });
+  EXPECT_EQ(code, Status::kConstantSpaceExceeded);
+  EXPECT_NE(msg.find("constant"), std::string::npos) << msg;
+  EXPECT_EQ(dev.get_last_error(), Status::kConstantSpaceExceeded);
+}
+
+TEST(LaunchStatus, OutOfBoundsAccessIsInvalidAddress) {
+  Device dev;
+  auto d = dev.alloc<float>(16);
+  LaunchOptions opt;
+  opt.uses_sync = false;
+  const auto [code, msg] = catch_status([&] {
+    launch(dev, Dim3(1), Dim3(1), opt, OobKernel{}, d);
+  });
+  EXPECT_EQ(code, Status::kInvalidAddress);
+  EXPECT_NE(msg.find("out of bounds"), std::string::npos) << msg;
+  EXPECT_EQ(dev.get_last_error(), Status::kInvalidAddress);
+}
+
+TEST(LaunchStatus, SuccessfulLaunchLeavesStatusClean) {
+  Device dev;
+  auto out = dev.alloc<int>(256);
+  LaunchOptions opt;
+  opt.uses_sync = false;
+  launch(dev, Dim3(4), Dim3(64), opt, FillIndexKernel{256}, out);
+  EXPECT_EQ(dev.get_last_error(), Status::kSuccess);
 }
 
 }  // namespace
