@@ -1,0 +1,169 @@
+// g80rt throughput benchmark: what the runtime's two levers actually buy.
+//
+// 1. Block-parallel functional pass — the §4 matmul (tiled+unrolled, full
+//    grid) launched sequentially and across WorkerPools of 2 and 4 workers.
+//    Reports wall-clock speedup and verifies outputs and modeled stats stay
+//    bit-identical (speedups depend on host cores; determinism must not).
+// 2. Streams — the same four h2d→kernel→d2h pipelines pushed through one
+//    stream vs four, with measured wall-clock and the modeled
+//    serialized-vs-overlapped totals from the timeline.
+//
+// Output is a single JSON object on stdout.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "apps/matmul/matmul.h"
+#include "common/str.h"
+#include "cudalite/device.h"
+#include "cudalite/launch.h"
+#include "exec/worker_pool.h"
+#include "rt/runtime.h"
+
+using namespace g80;
+using namespace g80::apps;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScaleKernel {
+  template <class Ctx>
+  void operator()(Ctx& ctx, DeviceBuffer<float>& in,
+                  DeviceBuffer<float>& out) const {
+    auto I = ctx.global(in);
+    auto O = ctx.global(out);
+    const int i = ctx.global_thread_x();
+    O.st(i, ctx.mad(I.ld(i), 2.0f, 1.0f));
+  }
+};
+
+}  // namespace
+
+int main() {
+  // ---- Part 1: block-parallel functional pass over the §4 matmul ----
+  const int n = 512, tile = 16;
+  const auto wl = MatmulWorkload::generate(n, 7);
+  const MatmulTiledKernel kernel{n, tile, /*unrolled=*/true};
+
+  struct Run {
+    int workers;
+    double seconds;
+    bool bit_identical;
+    double timing_seconds;
+  };
+  std::vector<Run> runs;
+  std::vector<float> baseline;
+  double baseline_timing = 0;
+
+  for (int workers : {1, 2, 4}) {
+    Device dev;
+    auto a = dev.alloc<float>(wl.a.size());
+    auto b = dev.alloc<float>(wl.b.size());
+    auto c = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+    a.copy_from_host(wl.a);
+    b.copy_from_host(wl.b);
+
+    WorkerPool pool(workers);
+    LaunchOptions opt;
+    opt.regs_per_thread = 9;
+    opt.pool = workers > 1 ? &pool : nullptr;
+
+    const double t0 = now_seconds();
+    const LaunchStats stats = launch(dev, Dim3(n / tile, n / tile),
+                                     Dim3(tile, tile), opt, kernel, a, b, c);
+    const double wall = now_seconds() - t0;
+
+    const std::vector<float> out = c.copy_to_host();
+    bool identical = true;
+    if (workers == 1) {
+      baseline = out;
+      baseline_timing = stats.timing.seconds;
+    } else {
+      identical = out.size() == baseline.size() &&
+                  std::memcmp(out.data(), baseline.data(),
+                              baseline.size() * sizeof(float)) == 0 &&
+                  stats.timing.seconds == baseline_timing;
+    }
+    runs.push_back({workers, wall, identical, stats.timing.seconds});
+  }
+
+  // ---- Part 2: one stream vs four ----
+  const int sn = 1 << 18;  // 1 MB buffers per pipeline
+  std::vector<float> host(sn, 1.0f);
+  LaunchOptions sopt;
+  sopt.uses_sync = false;
+
+  auto run_pipelines = [&](int nstreams, double* modeled_total,
+                           double* modeled_serialized) {
+    Device dev;
+    rt::Runtime r(dev, {.workers = 1});
+    std::vector<rt::Stream> streams;
+    for (int i = 0; i < nstreams; ++i) streams.push_back(r.stream_create());
+    std::vector<DeviceBuffer<float>> ins, outs;
+    std::vector<std::vector<float>> backs(4);
+    for (int i = 0; i < 4; ++i) {
+      ins.push_back(dev.alloc<float>(sn));
+      outs.push_back(dev.alloc<float>(sn));
+    }
+    // Breadth-first issue: engines serve ops in issue order, so batching a
+    // whole pipeline per stream would leave the copy engine with nothing to
+    // overlap a kernel with (the classic depth-first-issue pitfall on
+    // single-queue hardware).
+    const double t0 = now_seconds();
+    for (int i = 0; i < 4; ++i)
+      r.memcpy_h2d_async(streams[i % nstreams], ins[i], host);
+    for (int i = 0; i < 4; ++i)
+      r.launch_async(streams[i % nstreams], Dim3(sn / 256), Dim3(256), sopt,
+                     nullptr, ScaleKernel{}, ins[i], outs[i]);
+    for (int i = 0; i < 4; ++i)
+      r.memcpy_d2h_async(streams[i % nstreams], backs[i], outs[i]);
+    r.device_synchronize();
+    const double wall = now_seconds() - t0;
+    *modeled_total = r.modeled_total_seconds();
+    *modeled_serialized = r.modeled_serialized_seconds();
+    return wall;
+  };
+
+  double one_total = 0, one_serial = 0, four_total = 0, four_serial = 0;
+  const double one_wall = run_pipelines(1, &one_total, &one_serial);
+  const double four_wall = run_pipelines(4, &four_total, &four_serial);
+
+  // ---- JSON ----
+  std::cout << "{\n  \"block_parallel\": {\n"
+            << "    \"app\": \"matmul_tiled_unrolled\", \"n\": " << n
+            << ", \"blocks\": " << (n / tile) * (n / tile) << ",\n"
+            << "    \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    std::cout << "      {\"workers\": " << r.workers << ", \"wall_seconds\": "
+              << fixed(r.seconds, 4)
+              << ", \"speedup\": " << fixed(runs[0].seconds / r.seconds, 2)
+              << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
+              << ", \"modeled_kernel_seconds\": " << fixed(r.timing_seconds, 6)
+              << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  std::cout << "    ]\n  },\n"
+            << "  \"streams\": {\n"
+            << "    \"pipelines\": 4, \"bytes_per_copy\": "
+            << static_cast<std::uint64_t>(sn) * sizeof(float) << ",\n"
+            << "    \"one_stream\": {\"wall_seconds\": " << fixed(one_wall, 4)
+            << ", \"modeled_seconds\": " << fixed(one_total, 6) << "},\n"
+            << "    \"four_streams\": {\"wall_seconds\": "
+            << fixed(four_wall, 4)
+            << ", \"modeled_seconds\": " << fixed(four_total, 6) << "},\n"
+            << "    \"modeled_serialized_seconds\": " << fixed(four_serial, 6)
+            << ",\n"
+            << "    \"modeled_overlap_saving_pct\": "
+            << fixed(100.0 * (four_serial - four_total) /
+                         (four_serial > 0 ? four_serial : 1.0),
+                     1)
+            << "\n  }\n}\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the g80rt runtime tests under ThreadSanitizer and run them.
+#
+# Usage: scripts/check_tsan.sh [build-dir]
+#
+# Uses the CMake `Tsan` configuration defined in the top-level
+# CMakeLists.txt.  The ucontext fiber switches in src/exec/fiber.cc carry
+# __tsan_create/switch_to/destroy_fiber annotations, so TSan's shadow stack
+# follows the simulated GPU threads across stack switches instead of
+# reporting phantom races.
+#
+# Only the runtime-concurrency tests run here (ctest -R '^rt_'): they are the
+# ones that exercise the WorkerPool, the stream threads, and the atomic
+# Device counters.  The sequential suite is covered by check_sanitize.sh.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-tsan}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Tsan
+cmake --build "$build" -j "$(nproc)" --target rt_stream_test rt_parallel_launch_test
+
+# second_deadlock_stack: show both lock orders on any lock-inversion report.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-second_deadlock_stack=1}"
+
+ctest --test-dir "$build" --output-on-failure -R '^rt_' -j "$(nproc)"
+echo "tsan: runtime tests passed"

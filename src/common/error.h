@@ -38,6 +38,11 @@ enum class Status {
   kBarrierDivergence,     // __syncthreads under divergent control flow (g80check)
   kSharedMemoryRace,      // unsynchronized shared-memory communication (g80check)
   kLaunchFailure,         // kernel aborted for any other reason
+  // g80rt runtime misuse (see docs/runtime.md):
+  kInvalidResourceHandle, // op on a destroyed stream or event
+  kInvalidDevice,         // event used with a runtime other than its creator's
+  kNotReady,              // event elapsed-time queried before both events completed
+  kNotPermitted,          // synchronization from inside a stream callback
 };
 
 inline std::string_view status_name(Status s) {
@@ -52,6 +57,10 @@ inline std::string_view status_name(Status s) {
     case Status::kBarrierDivergence: return "barrier divergence";
     case Status::kSharedMemoryRace: return "shared memory race";
     case Status::kLaunchFailure: return "launch failure";
+    case Status::kInvalidResourceHandle: return "invalid resource handle";
+    case Status::kInvalidDevice: return "invalid device";
+    case Status::kNotReady: return "device not ready";
+    case Status::kNotPermitted: return "operation not permitted";
   }
   return "unknown status";
 }

@@ -98,4 +98,38 @@ std::string launch_report(const DeviceSpec& spec, const LaunchStats& s) {
   return os.str();
 }
 
+std::string timeline_report(const Timeline& tl) {
+  std::ostringstream os;
+  const auto& spans = tl.spans();
+  os << "=== timeline report: " << spans.size() << " op(s), "
+     << fixed(tl.total_seconds() * 1e3, 3) << " ms total ===\n\n";
+
+  TextTable ops({"#", "stream", "engine", "start ms", "end ms", "dur ms",
+                 "op"});
+  for (const auto& sp : spans) {
+    ops.add_row({std::to_string(sp.seq), std::to_string(sp.stream),
+                 std::string(engine_name(sp.engine)),
+                 fixed(sp.start_s * 1e3, 3), fixed(sp.end_s * 1e3, 3),
+                 fixed(sp.duration_s() * 1e3, 3), sp.label});
+  }
+  os << ops.to_string() << "\n";
+
+  const double total = tl.total_seconds();
+  for (auto e : {TimelineEngine::kCompute, TimelineEngine::kCopy}) {
+    const double busy = tl.engine_busy_seconds(e);
+    os << engine_name(e) << " engine: " << fixed(busy * 1e3, 3) << " ms busy";
+    if (total > 0) os << " (" << fixed(100.0 * busy / total, 1) << "%)";
+    os << "\n";
+  }
+
+  const double serial = tl.serialized_seconds();
+  os << "overlap: " << fixed(total * 1e3, 3) << " ms vs "
+     << fixed(serial * 1e3, 3) << " ms serialized";
+  if (serial > 0) {
+    os << " (saved " << fixed(100.0 * (serial - total) / serial, 1) << "%)";
+  }
+  os << "\n";
+  return os.str();
+}
+
 }  // namespace g80

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cudalite/launch.h"
+#include "timing/timeline.h"
 
 namespace g80 {
 
@@ -19,5 +20,10 @@ std::string launch_report(const DeviceSpec& spec, const LaunchStats& stats);
 // One-line summary, e.g. for per-iteration logging:
 //   "0.152 ms | 13.8 GFLOPS | 55.0 GB/s | 768 thr/SM | global memory bandwidth"
 std::string launch_summary(const DeviceSpec& spec, const LaunchStats& stats);
+
+// Modeled-timeline report for a g80rt run: per-op span table in commit
+// order, per-engine busy time/utilization, and the copy/compute-overlap
+// saving versus fully serialized execution.
+std::string timeline_report(const Timeline& tl);
 
 }  // namespace g80

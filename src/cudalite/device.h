@@ -3,6 +3,7 @@
 // ledger of host<->device transfers for Table 3's transfer-time column.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -20,25 +21,41 @@ class Device;
 
 // Bookkeeping for explicit host<->device copies (paper §2: "all data
 // communication ... between CPU and GPU is explicitly performed through the
-// GPU device driver").
+// GPU device driver").  Counters are atomic: g80rt stream threads record
+// transfers concurrently (each counter is independently monotonic; callers
+// read totals only after synchronizing, so no cross-counter snapshot is
+// needed).
 class TransferLedger {
  public:
-  void record_h2d(std::uint64_t bytes) { h2d_bytes_ += bytes; ++h2d_count_; }
-  void record_d2h(std::uint64_t bytes) { d2h_bytes_ += bytes; ++d2h_count_; }
-  void reset() { *this = TransferLedger{}; }
+  void record_h2d(std::uint64_t bytes) {
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    h2d_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_d2h(std::uint64_t bytes) {
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    d2h_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void reset() {
+    h2d_bytes_ = 0;
+    d2h_bytes_ = 0;
+    h2d_count_ = 0;
+    d2h_count_ = 0;
+  }
 
-  std::uint64_t h2d_bytes() const { return h2d_bytes_; }
-  std::uint64_t d2h_bytes() const { return d2h_bytes_; }
-  std::uint64_t total_bytes() const { return h2d_bytes_ + d2h_bytes_; }
-  std::uint64_t transfer_count() const { return h2d_count_ + d2h_count_; }
+  std::uint64_t h2d_bytes() const { return h2d_bytes_.load(); }
+  std::uint64_t d2h_bytes() const { return d2h_bytes_.load(); }
+  std::uint64_t total_bytes() const { return h2d_bytes() + d2h_bytes(); }
+  std::uint64_t transfer_count() const {
+    return h2d_count_.load() + d2h_count_.load();
+  }
 
   double seconds(const DeviceSpec& spec) const {
     return transfer_seconds(spec, total_bytes(), transfer_count());
   }
 
  private:
-  std::uint64_t h2d_bytes_ = 0, d2h_bytes_ = 0;
-  std::uint64_t h2d_count_ = 0, d2h_count_ = 0;
+  std::atomic<std::uint64_t> h2d_bytes_{0}, d2h_bytes_{0};
+  std::atomic<std::uint64_t> h2d_count_{0}, d2h_count_{0};
 };
 
 // A typed span of device memory.  Element types must be trivially copyable
@@ -154,13 +171,11 @@ class Device {
   // --- Structured error state (cudaGetLastError / cudaPeekAtLastError) ---
   // The most recent Status raised against this device.  Peek leaves it in
   // place; get clears it back to kSuccess, exactly like the CUDA runtime.
-  Status peek_last_error() const { return status_; }
-  Status get_last_error() {
-    const Status s = status_;
-    status_ = Status::kSuccess;
-    return s;
-  }
-  void record_status(Status s) { status_ = s; }
+  // Atomic so concurrent g80rt stream threads can record failures without a
+  // data race (last writer wins, as with the real runtime's sticky error).
+  Status peek_last_error() const { return status_.load(); }
+  Status get_last_error() { return status_.exchange(Status::kSuccess); }
+  void record_status(Status s) { status_.store(s); }
   // Record `s` sticky and throw StatusError.  Hosts choose their style:
   // catch the exception, or catch-and-ignore then branch on get_last_error().
   [[noreturn]] void raise(Status s, const std::string& msg) {
@@ -202,9 +217,11 @@ class Device {
 
   DeviceSpec spec_;
   TransferLedger ledger_;
+  // Allocation is host-thread-only (as in CUDA 0.8, where cudaMalloc is a
+  // synchronous driver call); these two need no synchronization.
   std::uint64_t next_addr_ = kBaseAddr;
   std::uint64_t constant_used_ = 0;
-  Status status_ = Status::kSuccess;
+  std::atomic<Status> status_{Status::kSuccess};
 };
 
 template <class T>

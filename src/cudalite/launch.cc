@@ -2,6 +2,19 @@
 
 #include <algorithm>
 
+namespace g80 {
+
+namespace {
+// Thread-local so each g80rt stream thread (and the host thread) carries its
+// own default; a pool installed on one thread never leaks into another.
+thread_local WorkerPool* t_ambient_pool = nullptr;
+}  // namespace
+
+WorkerPool* ambient_launch_pool() { return t_ambient_pool; }
+void set_ambient_launch_pool(WorkerPool* pool) { t_ambient_pool = pool; }
+
+}  // namespace g80
+
 namespace g80::detail {
 
 std::vector<std::uint64_t> pick_sample_blocks(std::uint64_t total, int n) {

@@ -17,7 +17,9 @@
 // correctness is established separately at smaller sizes by the test suite.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +29,7 @@
 #include "cudalite/device.h"
 #include "cudalite/trace_collect.h"
 #include "exec/block_runner.h"
+#include "exec/worker_pool.h"
 #include "occupancy/occupancy.h"
 #include "sanitizer/recorder.h"
 #include "sanitizer/sanitizer.h"
@@ -55,6 +58,34 @@ struct LaunchOptions {
   // (plus deterministic fault injection).  Adds one extra pass over the
   // grid; launches with `enabled == false` execute exactly the seed paths.
   SanitizerOptions sanitize;
+  // g80rt block scheduling: run the trace and functional passes' independent
+  // blocks across this pool's workers.  nullptr falls back to the ambient
+  // pool (set_ambient_launch_pool / ScopedLaunchPool), and with neither the
+  // sequential path runs.  Kernel outputs and LaunchStats are bit-identical
+  // either way: each worker slot owns a private BlockRunner (fibers +
+  // shared-memory arena) and per-block traces merge in sample order.  The
+  // g80check pass stays sequential — its shadow state is grid-global.
+  WorkerPool* pool = nullptr;
+};
+
+// Ambient default worker pool, consulted when LaunchOptions::pool is null.
+// Lets whole-application layers (the §5 suite, benches) go block-parallel
+// without threading a pool through every launch call.  Thread-local, so
+// concurrent g80rt streams can opt in independently.
+WorkerPool* ambient_launch_pool();
+void set_ambient_launch_pool(WorkerPool* pool);
+
+class ScopedLaunchPool {
+ public:
+  explicit ScopedLaunchPool(WorkerPool* pool) : prev_(ambient_launch_pool()) {
+    set_ambient_launch_pool(pool);
+  }
+  ~ScopedLaunchPool() { set_ambient_launch_pool(prev_); }
+  ScopedLaunchPool(const ScopedLaunchPool&) = delete;
+  ScopedLaunchPool& operator=(const ScopedLaunchPool&) = delete;
+
+ private:
+  WorkerPool* prev_;
 };
 
 struct LaunchStats {
@@ -81,6 +112,58 @@ namespace detail {
 // Evenly spread `n` sample indices over [0, total), always including the
 // first and last block so grid-edge partial warps are represented.
 std::vector<std::uint64_t> pick_sample_blocks(std::uint64_t total, int n);
+
+// Per-slot BlockRunner scratch for the block-parallel passes.  Slot 0 is the
+// launch's primary runner; other slots get lazily-constructed clones touched
+// only by the worker thread owning that slot, so no locking is needed.
+class RunnerSet {
+ public:
+  RunnerSet(BlockRunner* primary, int slots, int max_threads,
+            std::size_t smem_capacity, std::size_t stack_bytes)
+      : primary_(primary),
+        extras_(static_cast<std::size_t>(std::max(0, slots - 1))),
+        max_threads_(max_threads),
+        smem_capacity_(smem_capacity),
+        stack_bytes_(stack_bytes) {}
+
+  BlockRunner& at(int slot) {
+    if (slot == 0) return *primary_;
+    auto& r = extras_[static_cast<std::size_t>(slot - 1)];
+    if (!r)
+      r = std::make_unique<BlockRunner>(max_threads_, smem_capacity_,
+                                        stack_bytes_);
+    return *r;
+  }
+
+  // Shared-memory footprint of the kernel: static __shared__ layout is
+  // identical for every block (the CUDA model), so the max over runners that
+  // executed at least one block equals the sequential path's value.
+  std::size_t smem_bytes_used() const {
+    std::size_t used = primary_->shared().bytes_used();
+    for (const auto& r : extras_)
+      if (r) used = std::max(used, r->shared().bytes_used());
+    return used;
+  }
+
+ private:
+  BlockRunner* primary_;
+  std::vector<std::unique_ptr<BlockRunner>> extras_;
+  int max_threads_;
+  std::size_t smem_capacity_;
+  std::size_t stack_bytes_;
+};
+
+// Dispatch body(slot, index) over [0, total): sequential on the caller when
+// no pool is available, block-parallel otherwise.  Either way every index
+// runs exactly once and failures surface as the lowest-index exception.
+template <class Body>
+void for_each_block(WorkerPool* pool, std::uint64_t total, const Body& body) {
+  if (pool != nullptr && pool->width() > 1 && total > 1) {
+    pool->parallel_for(total, body);
+  } else {
+    for (std::uint64_t i = 0; i < total; ++i) body(0, i);
+  }
+}
 
 }  // namespace detail
 
@@ -130,13 +213,22 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
                   std::to_string(spec.registers_per_sm));
   }
 
+  // Block scheduling: explicit pool, else the ambient one (g80rt), else the
+  // sequential seed path.  Slot 0 always runs on this thread.
+  WorkerPool* pool = opt.pool != nullptr ? opt.pool : ambient_launch_pool();
+  const int slots =
+      pool != nullptr && pool->width() > 1 ? pool->width() : 1;
+
   BlockRunner runner(opt.uses_sync ? threads : 1, spec.shared_mem_per_sm,
                      opt.stack_bytes);
-  const auto run_block = [&](const std::function<void(int)>& body) {
+  detail::RunnerSet runners(&runner, slots, opt.uses_sync ? threads : 1,
+                            spec.shared_mem_per_sm, opt.stack_bytes);
+  const auto run_block = [&](BlockRunner& r,
+                             const std::function<void(int)>& body) {
     if (opt.uses_sync) {
-      runner.run(threads, body);
+      r.run(threads, body);
     } else {
-      runner.run_direct(threads, body);
+      r.run_direct(threads, body);
     }
   };
 
@@ -147,22 +239,32 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
 
   try {
     // ---- Trace pass ----
+    // Each sampled block is traced into its own slot-private lane buffers
+    // and analyzed (coalescing / bank conflicts / constant broadcast /
+    // texture cache) into a self-contained BlockTrace, stored by sample
+    // index.  The merge therefore happens in sample order no matter which
+    // worker finished first, keeping TraceSummary bit-identical to the
+    // sequential path.
     const auto samples =
         detail::pick_sample_blocks(total_blocks, opt.sample_blocks);
-    std::vector<BlockTrace> traces;
-    traces.reserve(samples.size());
-    std::vector<LaneTrace> lanes(threads);
-    for (const std::uint64_t b : samples) {
-      BlockEnv env{&runner, grid, block,
-                   delinearize(static_cast<unsigned>(b), grid)};
-      for (auto& l : lanes) l.clear();
-      run_block([&](int tid) {
-        TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
-        kernel(ctx, args...);
-      });
-      traces.push_back(collect_block_trace(spec, lanes));
-    }
-    stats.smem_per_block = runner.shared().bytes_used();
+    std::vector<BlockTrace> traces(samples.size());
+    std::vector<std::vector<LaneTrace>> slot_lanes(
+        static_cast<std::size_t>(slots));
+    detail::for_each_block(
+        pool, samples.size(), [&](int slot, std::uint64_t i) {
+          BlockRunner& r = runners.at(slot);
+          auto& lanes = slot_lanes[static_cast<std::size_t>(slot)];
+          lanes.resize(static_cast<std::size_t>(threads));
+          for (auto& l : lanes) l.clear();
+          BlockEnv env{&r, grid, block,
+                       delinearize(static_cast<unsigned>(samples[i]), grid)};
+          run_block(r, [&](int tid) {
+            TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
+            kernel(ctx, args...);
+          });
+          traces[i] = collect_block_trace(spec, lanes);
+        });
+    stats.smem_per_block = runners.smem_bytes_used();
     stats.trace = TraceSummary::summarize(traces);
 
     // ---- Occupancy + timing ----
@@ -186,7 +288,7 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
         BlockEnv env{&runner, grid, block,
                      delinearize(static_cast<unsigned>(b), grid)};
         san.begin_block(b);
-        run_block([&](int tid) {
+        run_block(runner, [&](int tid) {
           SanitizeCtx ctx(&env, tid, SanitizerRecorder(&san, tid));
           kernel(ctx, args...);
         });
@@ -203,15 +305,21 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
     }
 
     // ---- Functional pass ----
+    // Grid blocks are independent (each writes a disjoint output region, see
+    // the header comment), so they distribute freely across worker slots;
+    // within a block, fiber scheduling is unchanged, so results stay
+    // bit-identical to sequential execution.
     if (opt.functional) {
-      for (std::uint64_t b = 0; b < total_blocks; ++b) {
-        BlockEnv env{&runner, grid, block,
-                     delinearize(static_cast<unsigned>(b), grid)};
-        run_block([&](int tid) {
-          FuncCtx ctx(&env, tid, NullRecorder{});
-          kernel(ctx, args...);
-        });
-      }
+      detail::for_each_block(
+          pool, total_blocks, [&](int slot, std::uint64_t b) {
+            BlockRunner& r = runners.at(slot);
+            BlockEnv env{&r, grid, block,
+                         delinearize(static_cast<unsigned>(b), grid)};
+            run_block(r, [&](int tid) {
+              FuncCtx ctx(&env, tid, NullRecorder{});
+              kernel(ctx, args...);
+            });
+          });
     }
   } catch (const StatusError& e) {
     dev.record_status(e.status());

@@ -21,6 +21,22 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer needs the same courtesy via its own fiber API: each fiber
+// gets a __tsan_create_fiber context, and every swapcontext is preceded by
+// __tsan_switch_to_fiber naming the destination.  Otherwise TSan attributes
+// fiber frames to the scheduler's stack and reports phantom races.
+#if defined(__SANITIZE_THREAD__)
+#define G80_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define G80_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef G80_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace g80 {
 namespace {
 
@@ -42,11 +58,45 @@ inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
 #endif
 }
 
+inline void* tsan_create_fiber() {
+#ifdef G80_TSAN_FIBERS
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_destroy_fiber(void* fiber) {
+#ifdef G80_TSAN_FIBERS
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+inline void* tsan_current_fiber() {
+#ifdef G80_TSAN_FIBERS
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_switch_to(void* fiber) {
+#ifdef G80_TSAN_FIBERS
+  if (fiber != nullptr) __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
+
 }  // namespace
 
 Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {
   G80_CHECK(stack_bytes >= 16 * 1024);
 }
+
+Fiber::~Fiber() { tsan_destroy_fiber(tsan_fiber_); }
 
 void Fiber::start(std::function<void()> body) {
   // Re-arming is allowed from ANY state: after a sibling thread throws, a
@@ -57,6 +107,11 @@ void Fiber::start(std::function<void()> body) {
   // start() from inside a fiber, so the stack being rebuilt is never live.
   body_ = std::move(body);
   pending_exception_ = nullptr;
+
+  // A fresh TSan context per arming: an abandoned run's happens-before
+  // state must not leak into the next kernel on this reused stack.
+  tsan_destroy_fiber(tsan_fiber_);
+  tsan_fiber_ = tsan_create_fiber();
 
   G80_CHECK(getcontext(&context_) == 0);
   context_.uc_stack.ss_sp = stack_.data();
@@ -90,14 +145,17 @@ void Fiber::run_body() {
   // Falling off the trampoline returns via uc_link to return_context_.
   // nullptr fake-stack save: this fiber's frames are dead after the switch.
   asan_start_switch(nullptr, sched_stack_bottom_, sched_stack_size_);
+  tsan_switch_to(tsan_sched_fiber_);
 }
 
 Fiber::State Fiber::resume() {
   G80_CHECK_MSG(state_ == State::kRunnable || state_ == State::kSuspended,
                 "resume of a fiber that is not paused");
   state_ = State::kRunnable;
+  tsan_sched_fiber_ = tsan_current_fiber();
   void* fake_stack_save = nullptr;
   asan_start_switch(&fake_stack_save, stack_.data(), stack_.size());
+  tsan_switch_to(tsan_fiber_);
   G80_CHECK(swapcontext(&return_context_, &context_) == 0);
   asan_finish_switch(fake_stack_save, nullptr, nullptr);
   if (pending_exception_) {
@@ -112,6 +170,7 @@ void Fiber::yield() {
   state_ = State::kSuspended;
   void* fake_stack_save = nullptr;
   asan_start_switch(&fake_stack_save, sched_stack_bottom_, sched_stack_size_);
+  tsan_switch_to(tsan_sched_fiber_);
   G80_CHECK(swapcontext(&context_, &return_context_) == 0);
   asan_finish_switch(fake_stack_save, nullptr, nullptr);
 }

@@ -21,7 +21,7 @@ class Fiber {
   enum class State { kIdle, kRunnable, kSuspended, kDone };
 
   explicit Fiber(std::size_t stack_bytes = 128 * 1024);
-  ~Fiber() = default;
+  ~Fiber();  // releases the TSan fiber context in sanitized builds
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
@@ -53,6 +53,11 @@ class Fiber {
   // fiber-switch annotations (no-ops in non-sanitized builds).
   const void* sched_stack_bottom_ = nullptr;
   std::size_t sched_stack_size_ = 0;
+  // ThreadSanitizer fiber contexts (nullptr in non-TSan builds).  Without
+  // them TSan's shadow stack is left describing the scheduler while fiber
+  // frames execute, producing bogus races and stack-corruption reports.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_sched_fiber_ = nullptr;
 };
 
 }  // namespace g80

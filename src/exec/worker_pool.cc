@@ -1,0 +1,121 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace g80 {
+
+// One parallel_for in flight.  Lives on the caller's stack; helpers only
+// touch it between registration and the caller's final active==0 wait.
+struct WorkerPool::Job {
+  std::uint64_t total = 0;
+  std::uint64_t chunk = 1;
+  const std::function<void(int, std::uint64_t)>* body = nullptr;
+  std::atomic<std::uint64_t> next{0};  // next unclaimed index
+  std::atomic<int> next_slot{1};       // slot 0 is the caller
+  int active = 0;                      // helpers inside work() (guarded by mu_)
+  // Lowest-index exception wins, making failures order-independent.
+  std::mutex err_mu;
+  std::uint64_t err_index = ~0ull;
+  std::exception_ptr err;
+
+  bool claimable(int width) const {
+    return next.load(std::memory_order_relaxed) < total &&
+           next_slot.load(std::memory_order_relaxed) < width;
+  }
+};
+
+WorkerPool::WorkerPool(int width) : width_(std::max(1, width)) {
+  threads_.reserve(static_cast<std::size_t>(width_ - 1));
+  for (int i = 1; i < width_; ++i)
+    threads_.emplace_back([this] { helper_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int WorkerPool::default_width(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw == 0 ? 1 : hw), 1, 16);
+}
+
+void WorkerPool::work(Job& job, int slot) {
+  for (;;) {
+    const std::uint64_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.total) return;
+    const std::uint64_t end = std::min(begin + job.chunk, job.total);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      try {
+        (*job.body)(slot, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.err_mu);
+        if (i < job.err_index) {
+          job.err_index = i;
+          job.err = std::current_exception();
+        }
+        break;  // abandon the rest of this chunk; other chunks still run
+      }
+    }
+  }
+}
+
+void WorkerPool::parallel_for(
+    std::uint64_t total, const std::function<void(int, std::uint64_t)>& body) {
+  if (total == 0) return;
+  Job job;
+  job.total = total;
+  job.body = &body;
+  // Small chunks balance heterogeneous block costs; ~8 chunks per slot.
+  job.chunk = std::max<std::uint64_t>(
+      1, total / (static_cast<std::uint64_t>(width_) * 8));
+
+  if (width_ <= 1 || total == 1) {
+    work(job, 0);
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      jobs_.push_back(&job);
+    }
+    work_cv_.notify_all();
+    work(job, 0);
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+      done_cv_.wait(lk, [&] { return job.active == 0; });
+    }
+  }
+  if (job.err) std::rethrow_exception(job.err);
+}
+
+void WorkerPool::helper_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] {
+      if (stopping_) return true;
+      return std::any_of(jobs_.begin(), jobs_.end(),
+                         [&](Job* j) { return j->claimable(width_); });
+    });
+    if (stopping_) return;
+    for (Job* job : jobs_) {
+      if (!job->claimable(width_)) continue;
+      const int slot = job->next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= width_) continue;  // lost the race for the last slot
+      ++job->active;
+      lk.unlock();
+      work(*job, slot);
+      lk.lock();
+      if (--job->active == 0) done_cv_.notify_all();
+      break;  // re-evaluate the job list from scratch
+    }
+  }
+}
+
+}  // namespace g80

@@ -1,0 +1,290 @@
+#include "rt/runtime.h"
+
+#include <utility>
+
+namespace g80::rt {
+
+namespace {
+// Set while a stream thread runs an op, so synchronization attempts from
+// inside a callback (which would wait on the very stream executing them)
+// can be diagnosed instead of deadlocking.
+thread_local Runtime* t_active_runtime = nullptr;
+}  // namespace
+
+Runtime::Runtime(Device& dev, RuntimeOptions opt)
+    : dev_(dev), pool_(WorkerPool::default_width(opt.workers)) {}
+
+Runtime::~Runtime() {
+  // Drain and stop every stream.  Errors were already made sticky on the
+  // Device; a destructor cannot rethrow them.
+  std::vector<std::unique_ptr<StreamImpl>> victims;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto& [id, st] : streams_) {
+      StreamImpl* p = st.get();
+      cv_.wait(lk, [&] { return p->queue.empty() && !p->busy; });
+      p->stop = true;
+      victims.push_back(std::move(st));
+    }
+    streams_.clear();
+  }
+  cv_.notify_all();
+  for (auto& v : victims) v->thread.join();
+}
+
+Runtime::StreamImpl& Runtime::stream_impl_locked(const Stream& s) {
+  if (s.owner == nullptr) {
+    dev_.raise(Status::kInvalidResourceHandle,
+               "null stream handle (default-constructed Stream)");
+  }
+  if (s.owner != this) {
+    dev_.raise(Status::kInvalidDevice,
+               "stream belongs to a different runtime/device");
+  }
+  auto it = streams_.find(s.id);
+  if (it == streams_.end()) {
+    dev_.raise(Status::kInvalidResourceHandle,
+               "stream " + std::to_string(s.id) +
+                   " was destroyed or never created");
+  }
+  return *it->second;
+}
+
+Runtime::EventImpl& Runtime::event_impl_locked(const Event& e) {
+  if (e.owner == nullptr) {
+    dev_.raise(Status::kInvalidResourceHandle,
+               "null event handle (default-constructed Event)");
+  }
+  if (e.owner != this) {
+    dev_.raise(Status::kInvalidDevice,
+               "event belongs to a different runtime/device");
+  }
+  auto it = events_.find(e.id);
+  if (it == events_.end()) {
+    dev_.raise(Status::kInvalidResourceHandle,
+               "event " + std::to_string(e.id) +
+                   " was destroyed or never created");
+  }
+  return *it->second;
+}
+
+void Runtime::check_not_callback(const char* what) {
+  if (t_active_runtime == this) {
+    dev_.raise(Status::kNotPermitted,
+               std::string(what) +
+                   " from inside a stream callback would deadlock the "
+                   "stream executing it");
+  }
+}
+
+Stream Runtime::stream_create() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t id = next_stream_id_++;
+  auto st = std::make_unique<StreamImpl>();
+  st->id = id;
+  StreamImpl* p = st.get();
+  st->thread = std::thread([this, p] { stream_loop(p); });
+  streams_.emplace(id, std::move(st));
+  return Stream{id, this};
+}
+
+void Runtime::stream_destroy(Stream s) {
+  check_not_callback("stream_destroy");
+  std::unique_ptr<StreamImpl> victim;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    StreamImpl& st = stream_impl_locked(s);
+    cv_.wait(lk, [&] { return st.queue.empty() && !st.busy; });
+    st.stop = true;
+    victim = std::move(streams_.at(s.id));
+    streams_.erase(s.id);
+  }
+  cv_.notify_all();
+  victim->thread.join();
+}
+
+void Runtime::stream_synchronize(Stream s) {
+  check_not_callback("stream_synchronize");
+  std::unique_lock<std::mutex> lk(mu_);
+  StreamImpl& st = stream_impl_locked(s);
+  cv_.wait(lk, [&] { return st.queue.empty() && !st.busy; });
+  if (st.error) std::rethrow_exception(st.error);
+}
+
+bool Runtime::stream_query(Stream s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  StreamImpl& st = stream_impl_locked(s);
+  return st.queue.empty() && !st.busy;
+}
+
+void Runtime::device_synchronize() {
+  check_not_callback("device_synchronize");
+  std::unique_lock<std::mutex> lk(mu_);
+  for (auto& [id, st] : streams_) {
+    StreamImpl* p = st.get();
+    cv_.wait(lk, [&] { return p->queue.empty() && !p->busy; });
+  }
+  for (auto& [id, st] : streams_) {
+    if (st->error) std::rethrow_exception(st->error);
+  }
+}
+
+Event Runtime::event_create() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t id = next_event_id_++;
+  events_.emplace(id, std::make_unique<EventImpl>());
+  return Event{id, this};
+}
+
+void Runtime::event_destroy(Event e) {
+  check_not_callback("event_destroy");
+  std::unique_lock<std::mutex> lk(mu_);
+  EventImpl& ev = event_impl_locked(e);
+  // A pending record op holds a pointer to the impl; wait it out so
+  // destruction never leaves a dangling reference behind.
+  cv_.wait(lk, [&] { return !ev.recorded || ev.complete; });
+  events_.erase(e.id);
+}
+
+void Runtime::event_record(Stream s, Event e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  StreamImpl& st = stream_impl_locked(s);
+  EventImpl& ev = event_impl_locked(e);
+  ev.recorded = true;
+  ev.complete = false;
+  Op op;
+  op.seq = next_seq_++;
+  op.engine = TimelineEngine::kHost;
+  op.label = "event " + std::to_string(e.id);
+  op.run = [] { return 0.0; };
+  op.event = &ev;
+  st.queue.push_back(std::move(op));
+  cv_.notify_all();
+}
+
+bool Runtime::event_query(Event e) {
+  std::lock_guard<std::mutex> lk(mu_);
+  EventImpl& ev = event_impl_locked(e);
+  return !ev.recorded || ev.complete;
+}
+
+double Runtime::event_elapsed_seconds(Event start, Event stop) {
+  std::lock_guard<std::mutex> lk(mu_);
+  EventImpl& a = event_impl_locked(start);
+  EventImpl& b = event_impl_locked(stop);
+  if (!a.recorded || !b.recorded) {
+    dev_.raise(Status::kNotReady,
+               "event_elapsed_seconds: both events must be recorded first");
+  }
+  if (!a.complete || !b.complete) {
+    dev_.raise(Status::kNotReady,
+               "event_elapsed_seconds: events not yet complete; synchronize "
+               "the stream first");
+  }
+  return b.timestamp_s - a.timestamp_s;
+}
+
+void Runtime::host_func(Stream s, std::function<void()> fn) {
+  enqueue(s, TimelineEngine::kHost, "host_func",
+          [fn = std::move(fn)]() -> double {
+            fn();
+            return 0.0;
+          });
+}
+
+void Runtime::enqueue(const Stream& s, TimelineEngine engine,
+                      std::string label, std::function<double()> run,
+                      EventImpl* event) {
+  std::lock_guard<std::mutex> lk(mu_);
+  StreamImpl& st = stream_impl_locked(s);
+  Op op;
+  op.seq = next_seq_++;
+  op.engine = engine;
+  op.label = std::move(label);
+  op.run = std::move(run);
+  op.event = event;
+  st.queue.push_back(std::move(op));
+  cv_.notify_all();
+}
+
+void Runtime::stream_loop(StreamImpl* st) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return st->stop || !st->queue.empty(); });
+    if (st->queue.empty()) {
+      if (st->stop) return;
+      continue;
+    }
+    Op op = std::move(st->queue.front());
+    st->queue.pop_front();
+    st->busy = true;
+    const bool skip = static_cast<bool>(st->error);
+    lk.unlock();
+
+    double duration = 0;
+    std::exception_ptr err;
+    if (!skip) {
+      // After the first failure the stream drains its queue without
+      // executing, CUDA-style; the error resurfaces at synchronization.
+      t_active_runtime = this;
+      try {
+        duration = op.run();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      t_active_runtime = nullptr;
+    }
+
+    lk.lock();
+    if (err && !st->error) st->error = err;
+    PendingCommit pc;
+    pc.stream = st->id;
+    pc.engine = op.engine;
+    pc.duration_s = err ? 0.0 : duration;
+    pc.label = std::move(op.label);
+    pc.event = op.event;
+    commit_locked(op.seq, std::move(pc));
+    st->busy = false;
+    cv_.notify_all();
+  }
+}
+
+void Runtime::commit_locked(std::uint64_t seq, PendingCommit pc) {
+  pending_.emplace(seq, std::move(pc));
+  // Flush the chain strictly in issue order: a finished op whose
+  // predecessors (on any stream) have not yet finished parks here, so the
+  // modeled timeline is independent of thread scheduling.
+  for (;;) {
+    auto it = pending_.find(commit_seq_);
+    if (it == pending_.end()) break;
+    PendingCommit& p = it->second;
+    const TimelineSpan& span =
+        timeline_.schedule(p.stream, p.engine, p.duration_s,
+                           std::move(p.label));
+    if (p.event != nullptr) {
+      p.event->complete = true;
+      p.event->timestamp_s = span.end_s;
+    }
+    pending_.erase(it);
+    ++commit_seq_;
+  }
+}
+
+Timeline Runtime::timeline_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return timeline_;
+}
+
+double Runtime::modeled_total_seconds() {
+  device_synchronize();
+  std::lock_guard<std::mutex> lk(mu_);
+  return timeline_.total_seconds();
+}
+
+double Runtime::modeled_serialized_seconds() {
+  device_synchronize();
+  std::lock_guard<std::mutex> lk(mu_);
+  return timeline_.serialized_seconds();
+}
+
+}  // namespace g80::rt

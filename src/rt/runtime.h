@@ -1,0 +1,235 @@
+// g80rt — streams, events, and the asynchronous host runtime for cudalite.
+//
+// A cudalite `launch` is synchronous, like CUDA's very first releases; the
+// paper's §5 results repeatedly blame launch overhead and host<->device
+// transfer time for eroding kernel speedups.  CUDA's answer was streams:
+// FIFO queues of device work that run concurrently with the host and with
+// each other.  g80rt reproduces that model:
+//
+//   - `stream_create` returns a FIFO queue backed by a dedicated host
+//     thread; ops on one stream execute strictly in order, ops on different
+//     streams execute concurrently.
+//   - `memcpy_h2d_async` / `memcpy_d2h_async` / `launch_async` /
+//     `host_func` enqueue work and return immediately.
+//   - `event_record` / `event_elapsed_seconds` expose modeled timestamps;
+//     `stream_synchronize` / `device_synchronize` join the host with the
+//     device, rethrowing any asynchronous failure (whose Status is already
+//     sticky on the Device, CUDA-style).
+//
+// Two clocks run side by side.  Wall-clock: ops really execute on stream
+// threads, and kernels fan their blocks across the runtime's WorkerPool.
+// Modeled clock: every op is committed to a `Timeline` in issue order with
+// its modeled duration (`transfer_seconds` for copies, `total_seconds` for
+// kernels), reproducing the G80's one-compute-engine/one-copy-engine
+// overlap.  Commit order is the enqueue order, not the completion order, so
+// the modeled timeline and every event timestamp are deterministic no
+// matter how the OS schedules the stream threads.
+//
+// Runtime misuse — ops on destroyed streams, events shared across runtimes,
+// synchronizing from inside a stream callback — raises through the sticky
+// `g80::Status` model (docs/runtime.md has the full table).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "cudalite/device.h"
+#include "cudalite/launch.h"
+#include "exec/worker_pool.h"
+#include "timing/timeline.h"
+
+namespace g80::rt {
+
+class Runtime;
+
+// Value handles, CUDA-style: cheap to copy, validated on every use.  The
+// owner pointer lets misuse across runtimes (devices) be diagnosed as
+// kInvalidDevice rather than an accidental id collision.
+struct Stream {
+  std::uint64_t id = 0;
+  Runtime* owner = nullptr;
+};
+
+struct Event {
+  std::uint64_t id = 0;
+  Runtime* owner = nullptr;
+};
+
+struct RuntimeOptions {
+  // Block-parallel width for kernels launched through the runtime (and for
+  // anything else using this runtime's pool).  0 = hardware concurrency,
+  // clamped to [1, 16].
+  int workers = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Device& dev, RuntimeOptions opt = {});
+  ~Runtime();  // drains every stream, then joins all threads
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  Device& device() { return dev_; }
+  WorkerPool& pool() { return pool_; }
+
+  // --- Streams ---
+  Stream stream_create();
+  // Drains the stream (like cudaStreamDestroy's implicit sync), then joins
+  // its thread.  Further ops on the handle raise kInvalidResourceHandle.
+  void stream_destroy(Stream s);
+  // Blocks until every op enqueued so far has completed; rethrows the
+  // stream's first asynchronous failure (sticky: rethrown again on the next
+  // synchronize, and the Status stays recorded on the Device).
+  void stream_synchronize(Stream s);
+  bool stream_query(Stream s);  // true iff all enqueued work has completed
+  // Synchronizes all live streams in creation order; rethrows the failure
+  // of the lowest-id errored stream.
+  void device_synchronize();
+
+  // --- Events ---
+  Event event_create();
+  void event_destroy(Event e);  // waits for a pending record, then frees
+  void event_record(Stream s, Event e);
+  // True once the recorded op has completed and been committed to the
+  // modeled timeline.  Never-recorded events are trivially complete.
+  bool event_query(Event e);
+  // Modeled seconds between two completed events (stop - start; events on
+  // one stream are monotone).  Raises kNotReady before completion.
+  double event_elapsed_seconds(Event start, Event stop);
+
+  // --- Async ops (all FIFO within their stream) ---
+
+  // The source is taken by value: the runtime owns it until the copy
+  // executes, so the caller needs no lifetime discipline beyond `dst`.
+  template <class T>
+  void memcpy_h2d_async(Stream s, DeviceBuffer<T>& dst, std::vector<T> src) {
+    auto data = std::make_shared<std::vector<T>>(std::move(src));
+    const std::uint64_t bytes = data->size() * sizeof(T);
+    enqueue(s, TimelineEngine::kCopy, "h2d " + std::to_string(bytes) + " B",
+            [this, &dst, data]() -> double {
+              dst.copy_from_host(std::span<const T>(*data));
+              return transfer_seconds(dev_.spec(),
+                                      data->size() * sizeof(T), 1);
+            });
+  }
+
+  // `dst` is assigned when the copy executes; read it only after
+  // synchronizing the stream.
+  template <class T>
+  void memcpy_d2h_async(Stream s, std::vector<T>& dst,
+                        const DeviceBuffer<T>& src) {
+    enqueue(s, TimelineEngine::kCopy,
+            "d2h " + std::to_string(src.bytes()) + " B",
+            [this, &dst, &src]() -> double {
+              dst = src.copy_to_host();
+              return transfer_seconds(dev_.spec(), src.bytes(), 1);
+            });
+  }
+
+  // Asynchronous kernel launch.  Buffers in `args` must stay alive until
+  // the stream synchronizes.  `stats_out` (optional) is filled when the
+  // launch completes — read it only after synchronizing.  Unless the caller
+  // supplied an explicit pool, blocks fan out across this runtime's pool.
+  template <class Kernel, class... Args>
+  void launch_async(Stream s, Dim3 grid, Dim3 block, LaunchOptions opt,
+                    LaunchStats* stats_out, const Kernel& kernel,
+                    Args&... args) {
+    enqueue(s, TimelineEngine::kCompute,
+            "kernel " + std::to_string(grid.count()) + " blocks",
+            [this, grid, block, opt, stats_out, kernel,
+             targs = std::tuple<Args&...>(args...)]() -> double {
+              LaunchOptions o = opt;
+              if (o.pool == nullptr) o.pool = &pool_;
+              const LaunchStats st = std::apply(
+                  [&](Args&... as) {
+                    return g80::launch(dev_, grid, block, o, kernel, as...);
+                  },
+                  targs);
+              if (stats_out != nullptr) *stats_out = st;
+              return st.total_seconds(dev_.spec());
+            });
+  }
+
+  // Stream-ordered host callback (cudaLaunchHostFunc).  Takes no modeled
+  // time and no engine.  Synchronizing this runtime from inside the
+  // callback raises kNotPermitted — it would deadlock the stream.
+  void host_func(Stream s, std::function<void()> fn);
+
+  // --- Modeled timeline ---
+  // Spans commit in issue order as ops complete; synchronize first for a
+  // complete picture.
+  Timeline timeline_snapshot() const;
+  double modeled_total_seconds();       // device_synchronize + makespan
+  double modeled_serialized_seconds();  // device_synchronize + no-overlap sum
+
+ private:
+  struct EventImpl {
+    bool recorded = false;   // an event_record op references this event
+    bool complete = false;   // that op has committed
+    double timestamp_s = 0;  // modeled stream time at the record point
+  };
+
+  struct Op {
+    std::uint64_t seq = 0;
+    TimelineEngine engine = TimelineEngine::kHost;
+    std::string label;
+    std::function<double()> run;  // executes; returns modeled duration
+    EventImpl* event = nullptr;
+  };
+
+  struct StreamImpl {
+    std::uint64_t id = 0;
+    std::deque<Op> queue;  // guarded by the runtime mutex
+    bool busy = false;     // thread is executing an op
+    bool stop = false;
+    std::exception_ptr error;  // first async failure; later ops are skipped
+    std::thread thread;
+  };
+
+  struct PendingCommit {
+    std::uint64_t stream = 0;
+    TimelineEngine engine = TimelineEngine::kHost;
+    double duration_s = 0;
+    std::string label;
+    EventImpl* event = nullptr;
+  };
+
+  // All three validate handles and raise on misuse; callers hold mu_.
+  StreamImpl& stream_impl_locked(const Stream& s);
+  EventImpl& event_impl_locked(const Event& e);
+  void check_not_callback(const char* what);
+
+  void enqueue(const Stream& s, TimelineEngine engine, std::string label,
+               std::function<double()> run, EventImpl* event = nullptr);
+  void stream_loop(StreamImpl* st);
+  // Record one finished op and flush the commit chain in issue order.
+  void commit_locked(std::uint64_t seq, PendingCommit pc);
+
+  Device& dev_;
+  WorkerPool pool_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Timeline timeline_;
+  std::map<std::uint64_t, std::unique_ptr<StreamImpl>> streams_;
+  std::map<std::uint64_t, std::unique_ptr<EventImpl>> events_;
+  std::map<std::uint64_t, PendingCommit> pending_;  // awaiting earlier seqs
+  std::uint64_t next_stream_id_ = 1;
+  std::uint64_t next_event_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t commit_seq_ = 0;
+};
+
+}  // namespace g80::rt

@@ -1,0 +1,75 @@
+#include "timing/timeline.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace g80 {
+
+std::string_view engine_name(TimelineEngine e) {
+  switch (e) {
+    case TimelineEngine::kCompute: return "compute";
+    case TimelineEngine::kCopy: return "copy";
+    case TimelineEngine::kHost: return "host";
+  }
+  G80_CHECK(false);
+}
+
+const TimelineSpan& Timeline::schedule(std::uint64_t stream,
+                                       TimelineEngine engine,
+                                       double duration_s, std::string label) {
+  G80_CHECK_MSG(duration_s >= 0, "negative op duration");
+  auto it = std::find_if(stream_cursors_.begin(), stream_cursors_.end(),
+                         [&](const auto& p) { return p.first == stream; });
+  if (it == stream_cursors_.end()) {
+    stream_cursors_.emplace_back(stream, 0.0);
+    it = stream_cursors_.end() - 1;
+  }
+
+  double start = it->second;
+  if (engine != TimelineEngine::kHost) {
+    double& ec = engine_cursor_[static_cast<int>(engine)];
+    start = std::max(start, ec);
+    ec = start + duration_s;
+  }
+  it->second = start + duration_s;
+
+  TimelineSpan span;
+  span.seq = next_seq_++;
+  span.stream = stream;
+  span.engine = engine;
+  span.start_s = start;
+  span.end_s = start + duration_s;
+  span.label = std::move(label);
+  spans_.push_back(std::move(span));
+  return spans_.back();
+}
+
+double Timeline::total_seconds() const {
+  double t = 0;
+  for (const auto& s : spans_) t = std::max(t, s.end_s);
+  return t;
+}
+
+double Timeline::serialized_seconds() const {
+  double t = 0;
+  for (const auto& s : spans_) t += s.duration_s();
+  return t;
+}
+
+double Timeline::engine_busy_seconds(TimelineEngine e) const {
+  double t = 0;
+  for (const auto& s : spans_)
+    if (s.engine == e) t += s.duration_s();
+  return t;
+}
+
+double Timeline::stream_cursor(std::uint64_t stream) const {
+  for (const auto& [id, cursor] : stream_cursors_)
+    if (id == stream) return cursor;
+  return 0;
+}
+
+void Timeline::clear() { *this = Timeline{}; }
+
+}  // namespace g80

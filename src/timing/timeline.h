@@ -1,0 +1,67 @@
+// Overlap-aware modeled timeline for the g80rt stream runtime.
+//
+// The G80 pairs one compute engine with one DMA copy engine: kernels from
+// different streams serialize on compute (the hardware runs one grid at a
+// time), H2D/D2H copies serialize on the copy engine, but a copy may overlap
+// an independent stream's kernel — the overlap CUDA streams expose and the
+// paper's Table 3 transfer costs motivate hiding.
+//
+// Ops are committed in issue order (the order the host enqueued them, which
+// the runtime reconstructs deterministically regardless of which worker
+// thread finished first): an op starts at max(stream cursor, engine cursor)
+// and holds both until start + duration.  Host-side ops (events, callbacks)
+// consume no engine and so never serialize across streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g80 {
+
+enum class TimelineEngine {
+  kCompute,  // kernel launches
+  kCopy,     // H2D and D2H through the single DMA engine
+  kHost,     // events, host callbacks: stream-ordered, no engine
+};
+
+std::string_view engine_name(TimelineEngine e);
+
+struct TimelineSpan {
+  std::uint64_t seq = 0;     // global issue order
+  std::uint64_t stream = 0;  // issuing stream id
+  TimelineEngine engine = TimelineEngine::kHost;
+  double start_s = 0;
+  double end_s = 0;
+  std::string label;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+class Timeline {
+ public:
+  // Schedule the next op in issue order; returns the committed span.
+  const TimelineSpan& schedule(std::uint64_t stream, TimelineEngine engine,
+                               double duration_s, std::string label);
+
+  const std::vector<TimelineSpan>& spans() const { return spans_; }
+
+  // Makespan: completion time of the last op (0 when empty).
+  double total_seconds() const;
+  // The no-overlap baseline: every op back to back on one engine.  The gap
+  // to total_seconds() is what streams bought.
+  double serialized_seconds() const;
+  double engine_busy_seconds(TimelineEngine e) const;
+  double stream_cursor(std::uint64_t stream) const;
+
+  void clear();
+
+ private:
+  std::vector<TimelineSpan> spans_;
+  std::vector<std::pair<std::uint64_t, double>> stream_cursors_;
+  double engine_cursor_[2] = {0, 0};  // kCompute, kCopy
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace g80
