@@ -13,7 +13,9 @@
 #include "common/str.h"
 #include "common/table.h"
 #include "core/advisor.h"
+#include "core/report.h"
 #include "cudalite/device.h"
+#include "prof/profiler.h"
 
 using namespace g80;
 using namespace g80::apps;
@@ -43,11 +45,13 @@ int main() {
             << " GFLOPS, DRAM: " << fixed(dev.spec().dram_bandwidth_gbs, 1)
             << " GB/s\n\n";
 
+  prof::Profiler profiler;
   TextTable t({"version", "GFLOPS (model)", "GFLOPS (paper)", "potential",
                "blocks/SM", "regs", "fmad mix %", "DRAM GB/s", "bottleneck"});
   for (const auto& row : rows) {
     const auto stats =
-        run_matmul(dev, row.cfg, n, da, db, dc, /*functional=*/false);
+        run_matmul(dev, row.cfg, n, da, db, dc, /*functional=*/false,
+                   &profiler);
     t.add_row({
         row.cfg.name(),
         fixed(stats.timing.gflops, 2),
@@ -62,10 +66,18 @@ int main() {
   }
   t.print(std::cout);
 
-  // The advisor's view of the naive kernel (the §4.1 diagnosis).
+  // The advisor's view of the naive kernel (the §4.1 diagnosis), with each
+  // recommendation citing the measured g80prof counters behind it.
   const auto naive = run_matmul(dev, {MatmulVariant::kNaive, 16}, n, da, db,
                                 dc, /*functional=*/false);
   std::cout << "\nAdvisor on the naive kernel:\n"
-            << format_advice(advise(dev.spec(), naive));
+            << format_advice(advise(dev.spec(), naive,
+                                    prof::derive_counters(dev.spec(), naive)));
+
+  // Machine-readable session report: per-version counters plus the paper's
+  // Table 2 (instruction mix / FMAD fraction) and Table 3 (configuration,
+  // occupancy, GFLOPS) columns.
+  std::cout << "\ng80prof JSON report:\n"
+            << profile_json(dev.spec(), profiler) << "\n";
   return 0;
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Documentation consistency check, run as a tier-1 ctest:
+#
+#   1. every relative markdown link in README.md and docs/*.md resolves to
+#      an existing file (anchors stripped; external schemes skipped), and
+#   2. every `./build/bench/<target>` command in docs/paper-map.md names a
+#      bench target that actually exists in bench/CMakeLists.txt.
+#
+# Usage: scripts/check_docs.sh    (from anywhere; paths resolve to the repo)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+# --- 1. relative links resolve -------------------------------------------------
+for doc in "$repo"/README.md "$repo"/docs/*.md; do
+  dir="$(dirname "$doc")"
+  # Markdown inline links: capture the (...) part, one per line.  Reference
+  # definitions and autolinks are not used in this repo's docs.
+  while IFS= read -r link; do
+    # Skip external schemes and pure in-page anchors.
+    case "$link" in
+      http://*|https://*|mailto:*|chrome://*|\#*) continue ;;
+    esac
+    target="${link%%#*}"            # strip the anchor
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "BROKEN LINK: $doc -> ($link)"
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+# --- 2. paper-map bench commands exist in the build ----------------------------
+cmake_benches="$repo/bench/CMakeLists.txt"
+while IFS= read -r target; do
+  if ! grep -Eq "(g80_bench\($target\)|add_executable\($target )" \
+       "$cmake_benches"; then
+    echo "MISSING BENCH TARGET: docs/paper-map.md names './build/bench/$target'" \
+         "but bench/CMakeLists.txt defines no such target"
+    fail=1
+  fi
+done < <(grep -o '\./build/bench/[A-Za-z0-9_]*' "$repo/docs/paper-map.md" \
+         | sed 's|\./build/bench/||' | sort -u)
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: all documentation links and bench targets resolve"

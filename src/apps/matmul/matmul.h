@@ -200,9 +200,12 @@ struct MatmulRegTiledKernel {
 };
 
 // Launches the configured variant over n x n matrices already on the device.
+// When `profiler` is non-null the launch reports its counters to it under
+// the variant's `cfg.name()`.
 LaunchStats run_matmul(Device& dev, const MatmulConfig& cfg, int n,
                        DeviceBuffer<float>& a, DeviceBuffer<float>& b,
-                       DeviceBuffer<float>& c, bool functional);
+                       DeviceBuffer<float>& c, bool functional,
+                       prof::Profiler* profiler = nullptr);
 
 class MatmulApp : public App {
  public:

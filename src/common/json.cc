@@ -1,0 +1,141 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace g80 {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    G80_CHECK_MSG(out_.empty(), "JSON document already complete");
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    G80_CHECK_MSG(have_key_, "JSON object member needs key() first");
+    have_key_ = false;
+  } else {
+    if (need_comma_) out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  G80_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject && !have_key_,
+                "unbalanced end_object");
+  out_ += '}';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  G80_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kArray,
+                "unbalanced end_array");
+  out_ += ']';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  G80_CHECK_MSG(!stack_.empty() && stack_.back() == Scope::kObject && !have_key_,
+                "key() outside an object or after another key");
+  if (need_comma_) out_ += ',';
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  have_key_ = true;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out_ += buf;
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  G80_CHECK_MSG(stack_.empty() && !out_.empty(),
+                "JSON document incomplete (unclosed object/array or empty)");
+  return out_;
+}
+
+}  // namespace g80

@@ -1,0 +1,59 @@
+// Minimal ordered JSON writer for the machine-readable artifacts the repo
+// emits (g80prof kernel reports, Chrome trace-event files, bench output).
+//
+// Deliberately tiny: no DOM, no parsing — callers stream objects/arrays in
+// order and the writer handles quoting, escaping, separators and number
+// formatting.  Misnesting (closing an array as an object, a key outside an
+// object, two keys in a row) throws g80::Error so malformed artifacts can
+// never be written silently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g80 {
+
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object member key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  // Finite doubles render with up to 12 significant digits; non-finite
+  // values render as null (JSON has no inf/nan).
+  JsonWriter& value(double v);
+
+  // Convenience: key + value in one call.
+  template <class T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // Finishes and returns the document; the writer must be back at top level.
+  std::string str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+}  // namespace g80

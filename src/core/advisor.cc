@@ -150,6 +150,56 @@ std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& s) {
   return out;
 }
 
+std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& s,
+                           const prof::KernelCounters& m) {
+  std::vector<Advice> out = advise(spec, s);
+  // Suffix each triggered advice with the g80prof counters that measure the
+  // same phenomenon, so the recommendation carries evidence the reader can
+  // cross-check against the profiler's JSON report (docs/profiling.md).
+  for (Advice& a : out) {
+    std::string cite;
+    switch (a.kind) {
+      case AdviceKind::kImproveCoalescing:
+      case AdviceKind::kUseSharedMemoryTiling:
+        cite = cat("gld_uncoalesced=", m.gld_uncoalesced, " gst_uncoalesced=",
+                   m.gst_uncoalesced, " of ",
+                   m.gld_coalesced + m.gld_uncoalesced + m.gst_coalesced +
+                       m.gst_uncoalesced,
+                   " accesses, dram_bytes=", m.dram_bytes, " (useful ",
+                   m.useful_bytes, ")");
+        break;
+      case AdviceKind::kFixBankConflicts:
+        cite = cat("warp_serialize=", m.warp_serialize, " (bank replays ",
+                   m.shared_bank_replays, ")");
+        break;
+      case AdviceKind::kAvoidDivergence:
+        cite = cat("divergent_branch=", m.divergent_branch, " of branch=",
+                   m.branch);
+        break;
+      case AdviceKind::kReduceInstructionOverhead:
+        cite = cat("instructions=", m.instructions, ", fmad=",
+                   m.mix[OpClass::kFMad], " (",
+                   fixed(100 * m.fmad_fraction(), 1), "%)");
+        break;
+      case AdviceKind::kUseConstantOrTextureCache:
+        cite = cat("tex_cache_hits=", m.tex_cache_hits, " misses=",
+                   m.tex_cache_misses, ", const_serialize=",
+                   m.const_serialize);
+        break;
+      case AdviceKind::kIncreaseOccupancy:
+      case AdviceKind::kReduceRegisterPressure:
+      case AdviceKind::kReduceSharedMemoryUsage:
+        cite = cat("achieved_occupancy=",
+                   fixed(100 * m.achieved_occupancy, 1), "%, ",
+                   m.active_warps_per_sm, " warps/SM");
+        break;
+      default: break;
+    }
+    if (!cite.empty()) a.message += cat(" [measured: ", cite, "]");
+  }
+  return out;
+}
+
 std::string format_advice(const std::vector<Advice>& advice) {
   if (advice.empty()) return "  (no advice: kernel is well balanced)\n";
   std::string s;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cudalite/launch.h"
+#include "prof/counters.h"
 
 namespace g80 {
 
@@ -41,6 +42,13 @@ struct Advice {
 };
 
 std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& stats);
+
+// g80prof integration: identical diagnosis rules, but every triggered advice
+// message is suffixed with the measured hardware-style counters behind it
+// (e.g. "[measured: gld_uncoalesced=124 of 128 loads]"), so recommendations
+// cite profiler evidence rather than only modeled quantities.
+std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& stats,
+                           const prof::KernelCounters& measured);
 
 // Potential issue-limited throughput from the instruction mix — the paper's
 // "1/8 of operations are fused multiply-adds => 43.2 GFLOPS potential" (§4.1).

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/json.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "core/advisor.h"
@@ -130,6 +131,167 @@ std::string timeline_report(const Timeline& tl) {
   }
   os << "\n";
   return os.str();
+}
+
+namespace {
+
+// Issue-limited potential throughput from a profile's instruction mix —
+// the same §4.1 arithmetic `potential_gflops` applies to a TraceSummary,
+// restated over aggregated counters.
+double profile_potential_gflops(const DeviceSpec& spec,
+                                const prof::KernelCounters& c) {
+  const double issue = c.mix.warp_issue_cycles(spec);
+  if (issue <= 0) return 0.0;
+  return c.flops / issue * spec.num_sms * spec.core_clock_ghz;
+}
+
+}  // namespace
+
+std::string profile_report(const DeviceSpec& spec,
+                           const prof::Profiler& profiler) {
+  std::ostringstream os;
+  const auto kernels = profiler.kernels();
+  os << "=== g80prof session: " << profiler.total_launches()
+     << " launch(es), " << kernels.size() << " kernel(s) ===\n\n";
+
+  TextTable t({"kernel", "launches", "ms", "GFLOPS", "gld_coal", "gld_unc",
+               "gst_coal", "gst_unc", "warp_ser", "div_br", "fmad %",
+               "occ %"});
+  for (const auto& k : kernels) {
+    const auto& c = k.counters;
+    t.add_row({k.name, std::to_string(k.launches),
+               fixed(k.modeled_seconds * 1e3, 3), fixed(k.gflops, 1),
+               std::to_string(c.gld_coalesced),
+               std::to_string(c.gld_uncoalesced),
+               std::to_string(c.gst_coalesced),
+               std::to_string(c.gst_uncoalesced),
+               std::to_string(c.warp_serialize),
+               std::to_string(c.divergent_branch),
+               fixed(100 * c.fmad_fraction(), 1),
+               fixed(100 * c.achieved_occupancy, 1)});
+  }
+  os << t.to_string();
+
+  const auto tx = profiler.transfers();
+  if (tx.h2d_count + tx.d2h_count > 0) {
+    os << "\ntransfers: " << tx.h2d_count << " h2d ("
+       << human_bytes(static_cast<double>(tx.h2d_bytes)) << "), "
+       << tx.d2h_count << " d2h ("
+       << human_bytes(static_cast<double>(tx.d2h_bytes)) << "), "
+       << fixed(tx.modeled_seconds * 1e3, 3) << " ms modeled\n";
+  }
+  return os.str();
+}
+
+std::string profile_json(const DeviceSpec& spec,
+                         const prof::Profiler& profiler) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("profiler");
+  w.value("g80prof");
+  w.key("device");
+  w.begin_object();
+  w.kv("name", spec.name);
+  w.kv("num_sms", static_cast<std::uint64_t>(spec.num_sms));
+  w.kv("core_clock_ghz", spec.core_clock_ghz);
+  w.kv("dram_bandwidth_gbs", spec.dram_bandwidth_gbs);
+  w.end_object();
+  w.kv("total_launches", profiler.total_launches());
+
+  w.key("kernels");
+  w.begin_array();
+  for (const auto& k : profiler.kernels()) {
+    const auto& c = k.counters;
+    w.begin_object();
+    w.kv("name", k.name);
+    w.kv("launches", k.launches);
+    w.kv("modeled_ms", k.modeled_seconds * 1e3);
+    w.key("grid");
+    w.begin_array();
+    w.value(static_cast<std::uint64_t>(k.grid.x));
+    w.value(static_cast<std::uint64_t>(k.grid.y));
+    w.end_array();
+    w.key("block");
+    w.begin_array();
+    w.value(static_cast<std::uint64_t>(k.block.x));
+    w.value(static_cast<std::uint64_t>(k.block.y));
+    w.value(static_cast<std::uint64_t>(k.block.z));
+    w.end_array();
+
+    // Raw hardware-style counters over the sampled blocks.
+    w.key("counters");
+    w.begin_object();
+    w.kv("gld_coalesced", c.gld_coalesced);
+    w.kv("gld_uncoalesced", c.gld_uncoalesced);
+    w.kv("gst_coalesced", c.gst_coalesced);
+    w.kv("gst_uncoalesced", c.gst_uncoalesced);
+    w.kv("global_transactions", c.global_transactions);
+    w.kv("dram_bytes", c.dram_bytes);
+    w.kv("useful_bytes", c.useful_bytes);
+    w.kv("warp_serialize", c.warp_serialize);
+    w.kv("shared_bank_replays", c.shared_bank_replays);
+    w.kv("const_serialize", c.const_serialize);
+    w.kv("const_requests", c.const_requests);
+    w.kv("tex_cache_hits", c.tex_cache_hits);
+    w.kv("tex_cache_misses", c.tex_cache_misses);
+    w.kv("branch", c.branch);
+    w.kv("divergent_branch", c.divergent_branch);
+    w.kv("sync", c.sync);
+    w.kv("instructions", c.instructions);
+    w.kv("cta_launched", c.blocks_total);
+    w.kv("blocks_sampled", c.blocks_sampled);
+    w.kv("warps_sampled", c.warps_sampled);
+    w.kv("grid_scale", c.grid_scale());
+    w.end_object();
+
+    w.key("instruction_mix");
+    w.begin_object();
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+      const auto n = c.mix.counts[i];
+      if (n == 0) continue;
+      w.kv(op_class_name(static_cast<OpClass>(i)), n);
+    }
+    w.end_object();
+
+    // Paper Table 2 columns: instruction-mix shares and what they imply.
+    w.key("table2");
+    w.begin_object();
+    w.kv("fmad_fraction", c.fmad_fraction());
+    w.kv("coalesced_fraction", c.coalesced_fraction());
+    w.kv("divergent_branch_fraction", c.divergent_branch_fraction());
+    w.kv("potential_gflops", profile_potential_gflops(spec, c));
+    w.kv("flops", c.flops);
+    w.end_object();
+
+    // Paper Table 3 columns: configuration + achieved performance.
+    w.key("table3");
+    w.begin_object();
+    w.kv("max_simultaneous_threads", k.max_simultaneous_threads);
+    w.kv("registers_per_thread", k.regs_per_thread);
+    w.kv("shared_mem_per_block",
+         static_cast<std::uint64_t>(k.smem_per_block));
+    w.kv("achieved_occupancy", c.achieved_occupancy);
+    w.kv("blocks_per_sm", c.blocks_per_sm);
+    w.kv("active_warps_per_sm", c.active_warps_per_sm);
+    w.kv("gflops", k.gflops);
+    w.kv("dram_gbs", k.dram_gbs);
+    w.kv("bottleneck", bottleneck_name(k.bottleneck));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  const auto tx = profiler.transfers();
+  w.key("transfers");
+  w.begin_object();
+  w.kv("h2d_count", tx.h2d_count);
+  w.kv("h2d_bytes", tx.h2d_bytes);
+  w.kv("d2h_count", tx.d2h_count);
+  w.kv("d2h_bytes", tx.d2h_bytes);
+  w.kv("modeled_seconds", tx.modeled_seconds);
+  w.end_object();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace g80

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "cudalite/launch.h"
+#include "prof/profiler.h"
 #include "timing/timeline.h"
 
 namespace g80 {
@@ -25,5 +26,18 @@ std::string launch_summary(const DeviceSpec& spec, const LaunchStats& stats);
 // order, per-engine busy time/utilization, and the copy/compute-overlap
 // saving versus fully serialized execution.
 std::string timeline_report(const Timeline& tl);
+
+// g80prof session report: one row per profiled kernel with its aggregated
+// hardware-style counters, plus transfer totals.
+std::string profile_report(const DeviceSpec& spec,
+                           const prof::Profiler& profiler);
+
+// Machine-readable form of the same session: a JSON document with, per
+// kernel, the raw counters plus the derived paper columns — the Table 2
+// instruction-mix fractions (FMAD/SFU/global-access shares, §4.1 potential
+// GFLOPS) and the Table 3 configuration columns (max simultaneous threads,
+// registers/thread, shared memory/block, GFLOPS, bottleneck).
+std::string profile_json(const DeviceSpec& spec,
+                         const prof::Profiler& profiler);
 
 }  // namespace g80

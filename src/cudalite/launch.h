@@ -40,6 +40,34 @@ namespace g80 {
 // Ctx instantiation for the g80check sanitize pass.
 using SanitizeCtx = Ctx<SanitizerRecorder>;
 
+struct LaunchStats;
+
+// g80prof hook.  The Profiler type and the out-of-line recording bridge live
+// in src/prof (prof/profiler.h); only declarations appear here so cudalite
+// keeps no header dependency on the profiler layer.
+namespace prof {
+class Profiler;
+namespace detail {
+void record_launch(Profiler& sink, const std::string& kernel_name,
+                   std::uint64_t stream, const DeviceSpec& spec,
+                   const LaunchStats& stats);
+}  // namespace detail
+}  // namespace prof
+
+// Opt-in per-launch profiling (g80prof).  Zero-cost when `sink` is null:
+// the launch executes exactly the same passes either way — counters are
+// derived after the fact from the trace pass's statistics, never measured
+// in the functional pass — so kernel outputs and LaunchStats stay
+// bit-identical with profiling on or off (bench/prof_overhead.cc asserts
+// this).
+struct ProfileOptions {
+  prof::Profiler* sink = nullptr;  // enabled iff non-null
+  // Aggregation key in the profiler's per-kernel tables ("" -> "kernel").
+  std::string kernel_name;
+  // Issuing g80rt stream id; filled by Runtime::launch_async.
+  std::uint64_t stream = 0;
+};
+
 struct LaunchOptions {
   // Registers per thread, as the CUDA 0.8 compiler would report (cubin
   // metadata).  The paper's kernels state these; our kernels carry the
@@ -58,6 +86,8 @@ struct LaunchOptions {
   // (plus deterministic fault injection).  Adds one extra pass over the
   // grid; launches with `enabled == false` execute exactly the seed paths.
   SanitizerOptions sanitize;
+  // g80prof: opt-in per-launch counter collection into a session profiler.
+  ProfileOptions prof;
   // g80rt block scheduling: run the trace and functional passes' independent
   // blocks across this pool's workers.  nullptr falls back to the ambient
   // pool (set_ambient_launch_pool / ScopedLaunchPool), and with neither the
@@ -327,6 +357,14 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
   } catch (const Error&) {
     dev.record_status(Status::kLaunchFailure);
     throw;
+  }
+  // ---- g80prof ----
+  // Counter derivation happens here, after every pass completed, from the
+  // trace statistics computed above — the functional path never sees the
+  // profiler.
+  if (opt.prof.sink != nullptr) {
+    prof::detail::record_launch(*opt.prof.sink, opt.prof.kernel_name,
+                                opt.prof.stream, spec, stats);
   }
   return stats;
 }

@@ -45,7 +45,9 @@ class LaneRecorder {
   void mem(OpClass c, std::uint64_t addr, std::uint32_t size,
            std::uint32_t site, const std::source_location& /*loc*/) {
     count(c);
-    const MemAccess a{addr, size, site, true};
+    const bool store =
+        c == OpClass::kStoreGlobal || c == OpClass::kStoreShared;
+    const MemAccess a{addr, size, site, true, store};
     switch (c) {
       case OpClass::kLoadGlobal:
       case OpClass::kStoreGlobal: lane_->global.push_back(a); break;

@@ -113,6 +113,22 @@ BlockTrace collect_block_trace(const DeviceSpec& spec,
       wt.global.scattered_bytes += res.scattered_bytes;
       wt.useful_global_bytes += res.useful_bytes;
       if (res.coalesced) ++wt.coalesced_instructions;
+      // Load/store split for the g80prof gld_*/gst_* counters.  Direction is
+      // a static property of the instruction, so any active lane decides.
+      bool is_store = false;
+      for (const MemAccess& a : acc) {
+        if (a.active) {
+          is_store = a.store;
+          break;
+        }
+      }
+      if (is_store) {
+        ++wt.gst_instructions;
+        if (res.coalesced) ++wt.gst_coalesced;
+      } else {
+        ++wt.gld_instructions;
+        if (res.coalesced) ++wt.gld_coalesced;
+      }
     }
 
     // --- Shared memory: bank conflicts ---

@@ -15,6 +15,10 @@ struct MemAccess {
   // lanes execute different numbers of accesses.
   std::uint32_t site = 0;
   bool active = false;     // lane predicated on?
+  // Direction of the access (load vs store).  The coalescing rule is
+  // direction-agnostic on G80, but the g80prof counters report loads and
+  // stores separately (gld_* vs gst_*, like the CUDA Visual Profiler).
+  bool store = false;
 };
 
 // One warp's simultaneous accesses for a single static instruction:

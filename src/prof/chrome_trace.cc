@@ -1,0 +1,95 @@
+#include "prof/chrome_trace.h"
+
+#include <string>
+
+#include "common/json.h"
+
+namespace g80::prof {
+
+namespace {
+
+// chrome://tracing sorts tracks by tid when sort_index metadata is absent;
+// keep compute above copy above host.
+int engine_tid(TimelineEngine e) {
+  switch (e) {
+    case TimelineEngine::kCompute: return 1;
+    case TimelineEngine::kCopy: return 2;
+    case TimelineEngine::kHost: return 3;
+  }
+  return 3;
+}
+
+constexpr int kPid = 1;
+
+// Complete ("X") duration event.  Times are microseconds in the trace
+// format; the modeled timeline is seconds.
+void emit_slice(JsonWriter& w, int tid, const std::string& name,
+                double start_s, double dur_s, std::uint64_t stream,
+                std::uint64_t seq) {
+  w.begin_object()
+      .kv("name", name)
+      .kv("ph", "X")
+      .kv("pid", kPid)
+      .kv("tid", tid)
+      .kv("ts", start_s * 1e6)
+      .kv("dur", dur_s * 1e6)
+      .key("args")
+      .begin_object()
+      .kv("stream", stream)
+      .kv("seq", seq)
+      .end_object()
+      .end_object();
+}
+
+void emit_thread_name(JsonWriter& w, int tid, const char* name) {
+  w.begin_object()
+      .kv("name", "thread_name")
+      .kv("ph", "M")
+      .kv("pid", kPid)
+      .kv("tid", tid)
+      .key("args")
+      .begin_object()
+      .kv("name", name)
+      .end_object()
+      .end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Timeline& tl,
+                              const ChromeTraceOptions& opt) {
+  JsonWriter w;
+  w.begin_object().kv("displayTimeUnit", "ms").key("traceEvents").begin_array();
+
+  // Track metadata: one named process, one named track per engine.
+  w.begin_object()
+      .kv("name", "process_name")
+      .kv("ph", "M")
+      .kv("pid", kPid)
+      .key("args")
+      .begin_object()
+      .kv("name", "g80 device (modeled)")
+      .end_object()
+      .end_object();
+  emit_thread_name(w, engine_tid(TimelineEngine::kCompute), "compute engine");
+  emit_thread_name(w, engine_tid(TimelineEngine::kCopy), "copy engine (DMA)");
+  emit_thread_name(w, engine_tid(TimelineEngine::kHost), "host (stream-ordered)");
+
+  for (const TimelineSpan& s : tl.spans()) {
+    const int tid = engine_tid(s.engine);
+    emit_slice(w, tid, s.label, s.start_s, s.duration_s(), s.stream, s.seq);
+    if (opt.block_spans) {
+      for (const TimelineBlockSpan& b : s.blocks) {
+        emit_slice(w, tid,
+                   "blocks [" + std::to_string(b.first_block) + "," +
+                       std::to_string(b.last_block) + ")",
+                   b.start_s, b.end_s - b.start_s, s.stream, s.seq);
+      }
+    }
+  }
+
+  w.end_array().end_object();
+  return w.str();
+}
+
+}  // namespace g80::prof

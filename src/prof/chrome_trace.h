@@ -1,0 +1,34 @@
+// Chrome trace-event exporter for the modeled g80rt Timeline.
+//
+// Serializes a `Timeline` into the JSON Trace Event Format that
+// chrome://tracing (and Perfetto's legacy importer) loads directly:
+// one process ("g80 device (modeled)") with one track per engine —
+// compute, copy, host — so the copy/compute overlap that streams buy is
+// visually inspectable, plus the issuing stream id on every slice.
+// Kernel spans that carry per-wave block spans (see TimelineBlockSpan)
+// render those as properly nested child slices on the compute track.
+//
+// Usage:
+//   rt::Runtime r(dev);
+//   ... enqueue work ...; r.device_synchronize();
+//   std::ofstream("trace.json") << prof::chrome_trace_json(
+//       r.timeline_snapshot());
+// then load trace.json at chrome://tracing.  docs/profiling.md walks
+// through the workflow.
+#pragma once
+
+#include <string>
+
+#include "timing/timeline.h"
+
+namespace g80::prof {
+
+struct ChromeTraceOptions {
+  // Emit the nested per-wave block slices of kernel spans.
+  bool block_spans = true;
+};
+
+std::string chrome_trace_json(const Timeline& tl,
+                              const ChromeTraceOptions& opt = {});
+
+}  // namespace g80::prof

@@ -1,0 +1,95 @@
+#include "prof/counters.h"
+
+namespace g80::prof {
+
+double KernelCounters::grid_scale() const {
+  return blocks_sampled == 0 ? 0.0
+                             : static_cast<double>(blocks_total) /
+                                   static_cast<double>(blocks_sampled);
+}
+
+double KernelCounters::fmad_fraction() const {
+  return instructions == 0 ? 0.0
+                           : static_cast<double>(mix[OpClass::kFMad]) /
+                                 static_cast<double>(instructions);
+}
+
+double KernelCounters::coalesced_fraction() const {
+  const std::uint64_t total =
+      gld_coalesced + gld_uncoalesced + gst_coalesced + gst_uncoalesced;
+  return total == 0 ? 1.0
+                    : static_cast<double>(gld_coalesced + gst_coalesced) /
+                          static_cast<double>(total);
+}
+
+double KernelCounters::divergent_branch_fraction() const {
+  return branch == 0 ? 0.0
+                     : static_cast<double>(divergent_branch) /
+                           static_cast<double>(branch);
+}
+
+KernelCounters& KernelCounters::operator+=(const KernelCounters& o) {
+  gld_coalesced += o.gld_coalesced;
+  gld_uncoalesced += o.gld_uncoalesced;
+  gst_coalesced += o.gst_coalesced;
+  gst_uncoalesced += o.gst_uncoalesced;
+  global_transactions += o.global_transactions;
+  dram_bytes += o.dram_bytes;
+  useful_bytes += o.useful_bytes;
+  warp_serialize += o.warp_serialize;
+  shared_bank_replays += o.shared_bank_replays;
+  const_serialize += o.const_serialize;
+  const_requests += o.const_requests;
+  tex_cache_hits += o.tex_cache_hits;
+  tex_cache_misses += o.tex_cache_misses;
+  branch += o.branch;
+  divergent_branch += o.divergent_branch;
+  sync += o.sync;
+  instructions += o.instructions;
+  mix += o.mix;
+  flops += o.flops;
+  blocks_sampled += o.blocks_sampled;
+  blocks_total += o.blocks_total;
+  warps_sampled += o.warps_sampled;
+  // Occupancy is a per-launch property, not an accumulable count: keep the
+  // most recent launch's values (launches aggregated under one kernel name
+  // run the same configuration in this suite).
+  achieved_occupancy = o.achieved_occupancy;
+  blocks_per_sm = o.blocks_per_sm;
+  active_warps_per_sm = o.active_warps_per_sm;
+  return *this;
+}
+
+KernelCounters derive_counters(const DeviceSpec& spec,
+                               const LaunchStats& stats) {
+  const WarpTrace& t = stats.trace.total;
+  KernelCounters c;
+  c.gld_coalesced = t.gld_coalesced;
+  c.gld_uncoalesced = t.gld_instructions - t.gld_coalesced;
+  c.gst_coalesced = t.gst_coalesced;
+  c.gst_uncoalesced = t.gst_instructions - t.gst_coalesced;
+  c.global_transactions = t.global.transactions;
+  c.dram_bytes = t.global.bytes;
+  c.useful_bytes = t.useful_global_bytes;
+  c.shared_bank_replays = t.shared_extra_passes;
+  c.const_serialize = t.const_extra_passes;
+  c.warp_serialize = t.shared_extra_passes + t.const_extra_passes;
+  c.const_requests = t.ops[OpClass::kLoadConst];
+  c.tex_cache_hits = t.texture_hits;
+  c.tex_cache_misses = t.texture_misses;
+  c.branch = t.branches;
+  c.divergent_branch = t.divergent_branches;
+  c.sync = t.ops[OpClass::kSync];
+  c.instructions = t.ops.total();
+  c.mix = t.ops;
+  c.flops = t.lane_flops;
+  c.blocks_sampled = stats.trace.num_blocks;
+  c.blocks_total = stats.grid.count();
+  c.warps_sampled = stats.trace.num_warps;
+  c.achieved_occupancy = stats.occupancy.fraction(spec);
+  c.blocks_per_sm = stats.occupancy.blocks_per_sm;
+  c.active_warps_per_sm = stats.occupancy.active_warps_per_sm;
+  return c;
+}
+
+}  // namespace g80::prof

@@ -1,5 +1,6 @@
 #include "rt/runtime.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace g80::rt {
@@ -12,7 +13,41 @@ thread_local Runtime* t_active_runtime = nullptr;
 }  // namespace
 
 Runtime::Runtime(Device& dev, RuntimeOptions opt)
-    : dev_(dev), pool_(WorkerPool::default_width(opt.workers)) {}
+    : dev_(dev),
+      pool_(WorkerPool::default_width(opt.workers)),
+      profiler_(opt.profiler) {}
+
+namespace detail {
+std::vector<TimelineBlockSpan> wave_block_spans(const DeviceSpec& spec,
+                                                const LaunchStats& stats,
+                                                double op_seconds,
+                                                int max_spans) {
+  std::vector<TimelineBlockSpan> out;
+  const std::uint64_t total = stats.grid.count();
+  const std::uint64_t concurrent = static_cast<std::uint64_t>(
+      std::max(1, stats.occupancy.blocks_per_sm * spec.num_sms));
+  const std::uint64_t waves = (total + concurrent - 1) / concurrent;
+  if (waves <= 1 || op_seconds <= 0) return out;  // span == whole kernel
+  // Merge consecutive waves so at most max_spans slices are emitted; the
+  // block ranges stay exact, so a merged slice still names every block.
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(waves, static_cast<std::uint64_t>(max_spans));
+  out.reserve(chunks);
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    const std::uint64_t wave_lo = i * waves / chunks;
+    const std::uint64_t wave_hi = (i + 1) * waves / chunks;
+    TimelineBlockSpan b;
+    b.first_block = wave_lo * concurrent;
+    b.last_block = std::min(total, wave_hi * concurrent);
+    b.start_s = op_seconds * static_cast<double>(wave_lo) /
+                static_cast<double>(waves);
+    b.end_s = op_seconds * static_cast<double>(wave_hi) /
+              static_cast<double>(waves);
+    out.push_back(b);
+  }
+  return out;
+}
+}  // namespace detail
 
 Runtime::~Runtime() {
   // Drain and stop every stream.  Errors were already made sticky on the
@@ -156,7 +191,7 @@ void Runtime::event_record(Stream s, Event e) {
   op.seq = next_seq_++;
   op.engine = TimelineEngine::kHost;
   op.label = "event " + std::to_string(e.id);
-  op.run = [] { return 0.0; };
+  op.run = [](std::vector<TimelineBlockSpan>&) { return 0.0; };
   op.event = &ev;
   st.queue.push_back(std::move(op));
   cv_.notify_all();
@@ -186,14 +221,15 @@ double Runtime::event_elapsed_seconds(Event start, Event stop) {
 
 void Runtime::host_func(Stream s, std::function<void()> fn) {
   enqueue(s, TimelineEngine::kHost, "host_func",
-          [fn = std::move(fn)]() -> double {
+          [fn = std::move(fn)](std::vector<TimelineBlockSpan>&) -> double {
             fn();
             return 0.0;
           });
 }
 
 void Runtime::enqueue(const Stream& s, TimelineEngine engine,
-                      std::string label, std::function<double()> run,
+                      std::string label,
+                      std::function<double(std::vector<TimelineBlockSpan>&)> run,
                       EventImpl* event) {
   std::lock_guard<std::mutex> lk(mu_);
   StreamImpl& st = stream_impl_locked(s);
@@ -222,13 +258,14 @@ void Runtime::stream_loop(StreamImpl* st) {
     lk.unlock();
 
     double duration = 0;
+    std::vector<TimelineBlockSpan> blocks;
     std::exception_ptr err;
     if (!skip) {
       // After the first failure the stream drains its queue without
       // executing, CUDA-style; the error resurfaces at synchronization.
       t_active_runtime = this;
       try {
-        duration = op.run();
+        duration = op.run(blocks);
       } catch (...) {
         err = std::current_exception();
       }
@@ -242,6 +279,7 @@ void Runtime::stream_loop(StreamImpl* st) {
     pc.engine = op.engine;
     pc.duration_s = err ? 0.0 : duration;
     pc.label = std::move(op.label);
+    pc.blocks = err ? std::vector<TimelineBlockSpan>{} : std::move(blocks);
     pc.event = op.event;
     commit_locked(op.seq, std::move(pc));
     st->busy = false;
@@ -260,7 +298,7 @@ void Runtime::commit_locked(std::uint64_t seq, PendingCommit pc) {
     PendingCommit& p = it->second;
     const TimelineSpan& span =
         timeline_.schedule(p.stream, p.engine, p.duration_s,
-                           std::move(p.label));
+                           std::move(p.label), std::move(p.blocks));
     if (p.event != nullptr) {
       p.event->complete = true;
       p.event->timestamp_s = span.end_s;

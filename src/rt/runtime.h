@@ -48,6 +48,7 @@
 #include "cudalite/device.h"
 #include "cudalite/launch.h"
 #include "exec/worker_pool.h"
+#include "prof/profiler.h"
 #include "timing/timeline.h"
 
 namespace g80::rt {
@@ -72,7 +73,24 @@ struct RuntimeOptions {
   // anything else using this runtime's pool).  0 = hardware concurrency,
   // clamped to [1, 16].
   int workers = 0;
+  // g80prof: when set, every launch and async copy on every stream of this
+  // runtime records into the profiler (kernels keyed by
+  // LaunchOptions::prof.kernel_name, transfers into the transfer totals),
+  // and kernel timeline spans carry per-wave block spans for the Chrome
+  // trace.  Null = no profiling, zero additional work per op.
+  prof::Profiler* profiler = nullptr;
 };
+
+namespace detail {
+// Modeled per-wave block spans of one kernel launch, relative to the op's
+// start and scaled to fill `op_seconds`.  At most `max_spans` spans are
+// emitted; longer launches merge consecutive waves into one span (the block
+// ranges in the labels stay exact, so nothing is dropped silently).
+std::vector<TimelineBlockSpan> wave_block_spans(const DeviceSpec& spec,
+                                                const LaunchStats& stats,
+                                                double op_seconds,
+                                                int max_spans = 64);
+}  // namespace detail
 
 class Runtime {
  public:
@@ -84,6 +102,7 @@ class Runtime {
 
   Device& device() { return dev_; }
   WorkerPool& pool() { return pool_; }
+  prof::Profiler* profiler() { return profiler_; }
 
   // --- Streams ---
   Stream stream_create();
@@ -119,10 +138,14 @@ class Runtime {
     auto data = std::make_shared<std::vector<T>>(std::move(src));
     const std::uint64_t bytes = data->size() * sizeof(T);
     enqueue(s, TimelineEngine::kCopy, "h2d " + std::to_string(bytes) + " B",
-            [this, &dst, data]() -> double {
+            [this, &dst, data, sid = s.id](
+                std::vector<TimelineBlockSpan>&) -> double {
               dst.copy_from_host(std::span<const T>(*data));
-              return transfer_seconds(dev_.spec(),
-                                      data->size() * sizeof(T), 1);
+              const std::uint64_t n = data->size() * sizeof(T);
+              const double secs = transfer_seconds(dev_.spec(), n, 1);
+              if (profiler_ != nullptr)
+                profiler_->record_transfer(/*h2d=*/true, n, secs, sid);
+              return secs;
             });
   }
 
@@ -133,33 +156,51 @@ class Runtime {
                         const DeviceBuffer<T>& src) {
     enqueue(s, TimelineEngine::kCopy,
             "d2h " + std::to_string(src.bytes()) + " B",
-            [this, &dst, &src]() -> double {
+            [this, &dst, &src, sid = s.id](
+                std::vector<TimelineBlockSpan>&) -> double {
               dst = src.copy_to_host();
-              return transfer_seconds(dev_.spec(), src.bytes(), 1);
+              const double secs = transfer_seconds(dev_.spec(), src.bytes(), 1);
+              if (profiler_ != nullptr)
+                profiler_->record_transfer(/*h2d=*/false, src.bytes(), secs,
+                                           sid);
+              return secs;
             });
   }
 
   // Asynchronous kernel launch.  Buffers in `args` must stay alive until
   // the stream synchronizes.  `stats_out` (optional) is filled when the
   // launch completes — read it only after synchronizing.  Unless the caller
-  // supplied an explicit pool, blocks fan out across this runtime's pool.
+  // supplied an explicit pool, blocks fan out across this runtime's pool;
+  // unless the caller attached an explicit profiler sink, the runtime's
+  // profiler (RuntimeOptions::profiler) receives the launch, keyed by
+  // LaunchOptions::prof.kernel_name and tagged with this stream's id.
   template <class Kernel, class... Args>
   void launch_async(Stream s, Dim3 grid, Dim3 block, LaunchOptions opt,
                     LaunchStats* stats_out, const Kernel& kernel,
                     Args&... args) {
-    enqueue(s, TimelineEngine::kCompute,
-            "kernel " + std::to_string(grid.count()) + " blocks",
-            [this, grid, block, opt, stats_out, kernel,
-             targs = std::tuple<Args&...>(args...)]() -> double {
+    const std::string label = "kernel " + std::to_string(grid.count()) +
+                              " blocks" +
+                              (opt.prof.kernel_name.empty()
+                                   ? std::string()
+                                   : " (" + opt.prof.kernel_name + ")");
+    enqueue(s, TimelineEngine::kCompute, label,
+            [this, grid, block, opt, stats_out, kernel, sid = s.id,
+             targs = std::tuple<Args&...>(args...)](
+                std::vector<TimelineBlockSpan>& blocks) -> double {
               LaunchOptions o = opt;
               if (o.pool == nullptr) o.pool = &pool_;
+              if (o.prof.sink == nullptr) o.prof.sink = profiler_;
+              o.prof.stream = sid;
               const LaunchStats st = std::apply(
                   [&](Args&... as) {
                     return g80::launch(dev_, grid, block, o, kernel, as...);
                   },
                   targs);
               if (stats_out != nullptr) *stats_out = st;
-              return st.total_seconds(dev_.spec());
+              const double secs = st.total_seconds(dev_.spec());
+              if (o.prof.sink != nullptr)
+                blocks = detail::wave_block_spans(dev_.spec(), st, secs);
+              return secs;
             });
   }
 
@@ -186,7 +227,9 @@ class Runtime {
     std::uint64_t seq = 0;
     TimelineEngine engine = TimelineEngine::kHost;
     std::string label;
-    std::function<double()> run;  // executes; returns modeled duration
+    // Executes; returns the modeled duration and may fill per-wave block
+    // spans (kernel ops under profiling) for the committed timeline span.
+    std::function<double(std::vector<TimelineBlockSpan>&)> run;
     EventImpl* event = nullptr;
   };
 
@@ -204,6 +247,7 @@ class Runtime {
     TimelineEngine engine = TimelineEngine::kHost;
     double duration_s = 0;
     std::string label;
+    std::vector<TimelineBlockSpan> blocks;
     EventImpl* event = nullptr;
   };
 
@@ -213,13 +257,15 @@ class Runtime {
   void check_not_callback(const char* what);
 
   void enqueue(const Stream& s, TimelineEngine engine, std::string label,
-               std::function<double()> run, EventImpl* event = nullptr);
+               std::function<double(std::vector<TimelineBlockSpan>&)> run,
+               EventImpl* event = nullptr);
   void stream_loop(StreamImpl* st);
   // Record one finished op and flush the commit chain in issue order.
   void commit_locked(std::uint64_t seq, PendingCommit pc);
 
   Device& dev_;
   WorkerPool pool_;
+  prof::Profiler* profiler_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Timeline timeline_;

@@ -17,7 +17,8 @@ std::string_view engine_name(TimelineEngine e) {
 
 const TimelineSpan& Timeline::schedule(std::uint64_t stream,
                                        TimelineEngine engine,
-                                       double duration_s, std::string label) {
+                                       double duration_s, std::string label,
+                                       std::vector<TimelineBlockSpan> blocks) {
   G80_CHECK_MSG(duration_s >= 0, "negative op duration");
   auto it = std::find_if(stream_cursors_.begin(), stream_cursors_.end(),
                          [&](const auto& p) { return p.first == stream; });
@@ -41,6 +42,11 @@ const TimelineSpan& Timeline::schedule(std::uint64_t stream,
   span.start_s = start;
   span.end_s = start + duration_s;
   span.label = std::move(label);
+  for (auto& b : blocks) {
+    b.start_s += start;
+    b.end_s += start;
+  }
+  span.blocks = std::move(blocks);
   spans_.push_back(std::move(span));
   return spans_.back();
 }

@@ -28,6 +28,18 @@ enum class TimelineEngine {
 
 std::string_view engine_name(TimelineEngine e);
 
+// Optional sub-structure of a kernel span: one wave of thread blocks
+// (the `blocks_per_SM x num_SMs` cohort that is resident at once).  The
+// g80prof Chrome-trace exporter renders these as nested slices inside the
+// kernel's compute-engine slice, making the wave cadence of a launch — and
+// the tail wave of a poorly-sized grid — visually inspectable.
+struct TimelineBlockSpan {
+  std::uint64_t first_block = 0;  // linear block ids [first, last)
+  std::uint64_t last_block = 0;
+  double start_s = 0;  // relative to the op on entry to schedule(); absolute
+  double end_s = 0;    // once stored in the committed TimelineSpan
+};
+
 struct TimelineSpan {
   std::uint64_t seq = 0;     // global issue order
   std::uint64_t stream = 0;  // issuing stream id
@@ -35,6 +47,7 @@ struct TimelineSpan {
   double start_s = 0;
   double end_s = 0;
   std::string label;
+  std::vector<TimelineBlockSpan> blocks;  // empty for non-kernel ops
 
   double duration_s() const { return end_s - start_s; }
 };
@@ -42,8 +55,11 @@ struct TimelineSpan {
 class Timeline {
  public:
   // Schedule the next op in issue order; returns the committed span.
+  // `blocks` (optional) carries per-wave block spans with times relative to
+  // the op's start; they are shifted to absolute time on commit.
   const TimelineSpan& schedule(std::uint64_t stream, TimelineEngine engine,
-                               double duration_s, std::string label);
+                               double duration_s, std::string label,
+                               std::vector<TimelineBlockSpan> blocks = {});
 
   const std::vector<TimelineSpan>& spans() const { return spans_; }
 

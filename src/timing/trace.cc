@@ -13,6 +13,10 @@ WarpTrace& WarpTrace::operator+=(const WarpTrace& o) {
   global += o.global;
   useful_global_bytes += o.useful_global_bytes;
   coalesced_instructions += o.coalesced_instructions;
+  gld_instructions += o.gld_instructions;
+  gld_coalesced += o.gld_coalesced;
+  gst_instructions += o.gst_instructions;
+  gst_coalesced += o.gst_coalesced;
   shared_extra_passes += o.shared_extra_passes;
   const_extra_passes += o.const_extra_passes;
   texture_hits += o.texture_hits;

@@ -24,6 +24,13 @@ struct WarpTrace {
   DramTraffic global;                  // post-coalescing DRAM traffic
   std::uint64_t useful_global_bytes = 0;
   std::uint64_t coalesced_instructions = 0;  // fully coalesced warp accesses
+  // Load/store split of the global warp instructions above (g80prof's
+  // gld_*/gst_* counters; texture-miss pseudo-instructions are excluded and
+  // surface via texture_misses instead).
+  std::uint64_t gld_instructions = 0;
+  std::uint64_t gld_coalesced = 0;
+  std::uint64_t gst_instructions = 0;
+  std::uint64_t gst_coalesced = 0;
   std::uint64_t shared_extra_passes = 0;     // bank-conflict serialization
   std::uint64_t const_extra_passes = 0;      // constant-cache serialization
   std::uint64_t texture_hits = 0;
