@@ -7,8 +7,10 @@
 // histograms all start in bank 0, so every increment is a 16-way conflict).
 // Same algorithm, same results, very different shared-memory behaviour.
 #include <iostream>
+#include <tuple>
 
 #include "apps/tpacf/tpacf.h"
+#include "bench/harness.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "cudalite/device.h"
@@ -16,7 +18,8 @@
 using namespace g80;
 using namespace g80::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "ablation_bankconflict");
   const int points = 2048;
   const auto w = TpacfWorkload::generate(points, /*seed=*/31);
 
@@ -37,32 +40,38 @@ int main() {
   opt.functional = false;
   opt.sample_blocks = 2;
 
-  std::cout << "Ablation: TPACF shared-memory histogram layout (" << points
+  h.human() << "Ablation: TPACF shared-memory histogram layout (" << points
             << " points, " << kTpacfBins << " bins)\n\n";
   TextTable t({"layout", "time (ms)", "bank replays/warp", "bottleneck"});
 
   LaunchStats results[2];
   int row = 0;
-  for (const auto& [name, layout] :
-       {std::pair{"hist[bin][thread] (conflict-free)", TpacfHistLayout::kBinMajor},
-        std::pair{"hist[thread][bin] (16-way conflicts)",
-                  TpacfHistLayout::kThreadMajor}}) {
+  for (const auto& [name, key, layout] :
+       {std::tuple{"hist[bin][thread] (conflict-free)", "bin_major",
+                   TpacfHistLayout::kBinMajor},
+        std::tuple{"hist[thread][bin] (16-way conflicts)", "thread_major",
+                   TpacfHistLayout::kThreadMajor}}) {
     TpacfKernel k;
     k.num_points = points;
     k.hist_layout = layout;
     const auto s = launch(dev, Dim3(blocks), Dim3(kTpacfBlockThreads), opt, k,
                           dx, dy, dz, de, dh);
     results[row++] = s;
+    const double replays_per_warp =
+        static_cast<double>(s.trace.total.shared_extra_passes) /
+        static_cast<double>(s.trace.num_warps);
     t.add_row({name, fixed(s.timing.seconds * 1e3, 3),
-               fixed(static_cast<double>(s.trace.total.shared_extra_passes) /
-                         static_cast<double>(s.trace.num_warps),
-                     0),
+               fixed(replays_per_warp, 0),
                std::string(bottleneck_name(s.timing.bottleneck))});
+    auto& r = h.result(key);
+    r.set("modeled_ms", s.timing.seconds * 1e3);
+    r.set("bank_replays_per_warp", replays_per_warp);
   }
-  t.print(std::cout);
-  std::cout << "\nconflict-free layout speedup: "
-            << fixed(results[1].timing.seconds / results[0].timing.seconds, 2)
+  t.print(h.human());
+  const double speedup = results[1].timing.seconds / results[0].timing.seconds;
+  h.human() << "\nconflict-free layout speedup: " << fixed(speedup, 2)
             << "x (the §5.2 bank-padding discipline, 'most notably in the "
                "MRI applications')\n";
-  return 0;
+  h.result("summary").set("conflict_free_speedup", speedup);
+  return h.finish(dev.spec());
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "apps/matmul/matmul.h"
+#include "bench/harness.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "core/autotuner.h"
@@ -21,7 +22,8 @@
 using namespace g80;
 using namespace g80::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "fig4_matmul_tiles");
   Device dev;
   const int base_n = 4096;
 
@@ -35,7 +37,7 @@ int main() {
     return (base_n + tile - 1) / tile * tile;  // 4096 or 4104
   };
 
-  std::cout << "Figure 4: matrix multiplication GFLOPS by tile size, "
+  h.human() << "Figure 4: matrix multiplication GFLOPS by tile size, "
             << base_n << "x" << base_n << " (12x12 padded to 4104)\n\n";
 
   TextTable t({"configuration", "tiled only", "tiled & unrolled", "threads/blk",
@@ -52,6 +54,11 @@ int main() {
                fixed(unrolled.timing.gflops, 2), cat(plain.block.count()),
                cat(plain.occupancy.blocks_per_sm),
                cat(plain.occupancy.active_threads_per_sm)});
+    auto& r = h.result("not_tiled");
+    r.set("gflops_tiled_only", plain.timing.gflops);
+    r.set("gflops_unrolled", unrolled.timing.gflops);
+    r.set("threads_per_block", plain.block.count());
+    r.set("threads_per_sm", plain.occupancy.active_threads_per_sm);
   }
 
   for (int tile : {4, 8, 12, 16}) {
@@ -64,14 +71,19 @@ int main() {
                fixed(unrolled.timing.gflops, 2), cat(tiled.block.count()),
                cat(tiled.occupancy.blocks_per_sm),
                cat(tiled.occupancy.active_threads_per_sm)});
+    auto& r = h.result(cat("tile_", tile, "x", tile));
+    r.set("gflops_tiled_only", tiled.timing.gflops);
+    r.set("gflops_unrolled", unrolled.timing.gflops);
+    r.set("threads_per_block", tiled.block.count());
+    r.set("threads_per_sm", tiled.occupancy.active_threads_per_sm);
   }
-  t.print(std::cout);
+  t.print(h.human());
 
-  std::cout << "\npaper reference points: not tiled 10.58; 16x16 tiled 46.49; "
+  h.human() << "\npaper reference points: not tiled 10.58; 16x16 tiled 46.49; "
                "16x16 tiled & unrolled 91.14 GFLOPS;\n4x4 tiles slightly "
                "below the untiled kernel (our model lands both near 10 "
                "GFLOPS\nwith the ordering inverted by ~13% — see "
                "EXPERIMENTS.md); unrolling other tile\nsizes only marginally "
                "better (§4.2-4.3)\n";
-  return 0;
+  return h.finish(dev.spec());
 }

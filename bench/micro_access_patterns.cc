@@ -6,8 +6,10 @@
 // A copy kernel reads with a configurable (stride, offset) pattern and
 // writes contiguously; the table reports the read-side coalescing outcome
 // and the resulting effective bandwidth.
+#include <algorithm>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "cudalite/ctx.h"
@@ -39,7 +41,8 @@ struct PatternCopyKernel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "micro_access_patterns");
   Device dev;
   const int n = 1 << 20;
   auto src = dev.alloc<float>(static_cast<std::size_t>(n) * 4);
@@ -52,7 +55,7 @@ int main() {
   const Dim3 block(256);
   const Dim3 grid(static_cast<unsigned>(n / 256));
 
-  std::cout << "Access-pattern microbenchmark: " << n
+  h.human() << "Access-pattern microbenchmark: " << n
             << " loads + contiguous stores on " << dev.spec().name << "\n"
             << "(peak " << fixed(dev.spec().dram_bandwidth_gbs, 1)
             << " GB/s; coalesced efficiency "
@@ -64,16 +67,17 @@ int main() {
 
   struct Case {
     const char* name;
+    const char* key;
     int stride, offset;
   };
   const Case cases[] = {
-      {"unit stride, aligned", 1, 0},
-      {"unit stride, +1 word misaligned", 1, 1},
-      {"unit stride, +4 words misaligned", 1, 4},
-      {"stride 2", 2, 0},
-      {"stride 4", 4, 0},
-      {"stride 16 (one txn per lane)", 16, 0},
-      {"stride 97 (fully scattered)", 97, 0},
+      {"unit stride, aligned", "stride1_aligned", 1, 0},
+      {"unit stride, +1 word misaligned", "stride1_off1", 1, 1},
+      {"unit stride, +4 words misaligned", "stride1_off4", 1, 4},
+      {"stride 2", "stride2", 2, 0},
+      {"stride 4", "stride4", 4, 0},
+      {"stride 16 (one txn per lane)", "stride16", 16, 0},
+      {"stride 97 (fully scattered)", "stride97", 97, 0},
   };
   for (const auto& c : cases) {
     const auto s = launch(dev, grid, block, opt,
@@ -96,10 +100,15 @@ int main() {
         fixed(s.timing.seconds * 1e3, 3),
         std::string(bottleneck_name(s.timing.bottleneck)),
     });
+    auto& r = h.result(c.key);
+    r.set("read_coalesced_fraction", std::max(0.0, read_coalesced) / reads);
+    r.set("txn_per_read", s.trace.transactions_per_mem_inst());
+    r.set("useful_gbs", useful_gbs);
+    r.set("modeled_ms", s.timing.seconds * 1e3);
   }
-  t.print(std::cout);
-  std::cout << "\nthe cliff from row 1 to row 2 is the §3.2 rule: a single "
+  t.print(h.human());
+  h.human() << "\nthe cliff from row 1 to row 2 is the §3.2 rule: a single "
                "word of misalignment\nforfeits the 16-word line and "
                "serializes the half-warp\n";
-  return 0;
+  return h.finish(dev.spec());
 }

@@ -8,7 +8,8 @@
 //    stream vs four, with measured wall-clock and the modeled
 //    serialized-vs-overlapped totals from the timeline.
 //
-// Output is a single JSON object on stdout.
+// Emits the standard g80bench-result document (bench/harness.h); wall-clock
+// metrics carry the `wall_` prefix so the regression checker skips them.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "apps/matmul/matmul.h"
+#include "bench/harness.h"
 #include "common/str.h"
 #include "cudalite/device.h"
 #include "cudalite/launch.h"
@@ -46,10 +48,11 @@ struct ScaleKernel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "rt_throughput");
   // ---- Part 1: block-parallel functional pass over the §4 matmul ----
   const int n = 512, tile = 16;
-  const auto wl = MatmulWorkload::generate(n, 7);
+  const auto wl = MatmulWorkload::generate(n, h.seed());
   const MatmulTiledKernel kernel{n, tile, /*unrolled=*/true};
 
   struct Run {
@@ -135,35 +138,43 @@ int main() {
   const double one_wall = run_pipelines(1, &one_total, &one_serial);
   const double four_wall = run_pipelines(4, &four_total, &four_serial);
 
-  // ---- JSON ----
-  std::cout << "{\n  \"block_parallel\": {\n"
-            << "    \"app\": \"matmul_tiled_unrolled\", \"n\": " << n
-            << ", \"blocks\": " << (n / tile) * (n / tile) << ",\n"
-            << "    \"runs\": [\n";
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    const Run& r = runs[i];
-    std::cout << "      {\"workers\": " << r.workers << ", \"wall_seconds\": "
-              << fixed(r.seconds, 4)
-              << ", \"speedup\": " << fixed(runs[0].seconds / r.seconds, 2)
-              << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
-              << ", \"modeled_kernel_seconds\": " << fixed(r.timing_seconds, 6)
-              << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  // ---- Results ----
+  h.human() << "block-parallel " << n << "x" << n << " matmul ("
+            << (n / tile) * (n / tile) << " blocks):\n";
+  for (const Run& r : runs) {
+    h.human() << "  workers=" << r.workers << ": " << fixed(r.seconds, 4)
+              << " s wall (speedup " << fixed(runs[0].seconds / r.seconds, 2)
+              << "x), bit identical: " << (r.bit_identical ? "yes" : "NO")
+              << "\n";
+    auto& row = h.result(cat("block_parallel_w", r.workers));
+    row.set("wall_seconds", r.seconds);
+    row.set("wall_speedup", runs[0].seconds / r.seconds);
+    row.set("bit_identical", r.bit_identical ? 1 : 0);
+    row.set("modeled_kernel_seconds", r.timing_seconds);
   }
-  std::cout << "    ]\n  },\n"
-            << "  \"streams\": {\n"
-            << "    \"pipelines\": 4, \"bytes_per_copy\": "
-            << static_cast<std::uint64_t>(sn) * sizeof(float) << ",\n"
-            << "    \"one_stream\": {\"wall_seconds\": " << fixed(one_wall, 4)
-            << ", \"modeled_seconds\": " << fixed(one_total, 6) << "},\n"
-            << "    \"four_streams\": {\"wall_seconds\": "
-            << fixed(four_wall, 4)
-            << ", \"modeled_seconds\": " << fixed(four_total, 6) << "},\n"
-            << "    \"modeled_serialized_seconds\": " << fixed(four_serial, 6)
-            << ",\n"
-            << "    \"modeled_overlap_saving_pct\": "
-            << fixed(100.0 * (four_serial - four_total) /
-                         (four_serial > 0 ? four_serial : 1.0),
-                     1)
-            << "\n  }\n}\n";
-  return 0;
+
+  const double saving_pct = 100.0 * (four_serial - four_total) /
+                            (four_serial > 0 ? four_serial : 1.0);
+  h.human() << "streams (4 pipelines, "
+            << static_cast<std::uint64_t>(sn) * sizeof(float)
+            << " B/copy): 1 stream " << fixed(one_total, 6)
+            << " s modeled, 4 streams " << fixed(four_total, 6)
+            << " s modeled (serialized " << fixed(four_serial, 6)
+            << " s, overlap saves " << fixed(saving_pct, 1) << "%)\n";
+  {
+    auto& row = h.result("streams_one");
+    row.set("wall_seconds", one_wall);
+    row.set("modeled_seconds", one_total);
+    row.set("modeled_serialized_seconds", one_serial);
+  }
+  {
+    auto& row = h.result("streams_four");
+    row.set("wall_seconds", four_wall);
+    row.set("modeled_seconds", four_total);
+    row.set("modeled_serialized_seconds", four_serial);
+    row.set("modeled_overlap_saving_pct", saving_pct);
+  }
+
+  Device spec_dev;
+  return h.finish(spec_dev.spec());
 }

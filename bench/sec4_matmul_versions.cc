@@ -10,17 +10,20 @@
 #include <iostream>
 
 #include "apps/matmul/matmul.h"
+#include "bench/harness.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "core/advisor.h"
 #include "core/report.h"
 #include "cudalite/device.h"
 #include "prof/profiler.h"
+#include "scope/session.h"
 
 using namespace g80;
 using namespace g80::apps;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "sec4_matmul_versions");
   Device dev;
   const int n = 4096;
 
@@ -39,19 +42,20 @@ int main() {
       {{MatmulVariant::kPrefetch, 16}, 87.10},
   };
 
-  std::cout << "Section 4: matrix multiplication versions, " << n << "x" << n
+  h.human() << "Section 4: matrix multiplication versions, " << n << "x" << n
             << " on simulated " << dev.spec().name << "\n"
             << "peak MAD throughput: " << fixed(dev.spec().peak_mad_gflops(), 1)
             << " GFLOPS, DRAM: " << fixed(dev.spec().dram_bandwidth_gbs, 1)
             << " GB/s\n\n";
 
   prof::Profiler profiler;
+  scope::Session scope_session;
   TextTable t({"version", "GFLOPS (model)", "GFLOPS (paper)", "potential",
                "blocks/SM", "regs", "fmad mix %", "DRAM GB/s", "bottleneck"});
   for (const auto& row : rows) {
     const auto stats =
         run_matmul(dev, row.cfg, n, da, db, dc, /*functional=*/false,
-                   &profiler);
+                   &profiler, &scope_session);
     t.add_row({
         row.cfg.name(),
         fixed(stats.timing.gflops, 2),
@@ -63,21 +67,42 @@ int main() {
         fixed(stats.timing.dram_gbs, 1),
         std::string(bottleneck_name(stats.timing.bottleneck)),
     });
+    auto& r = h.result(row.cfg.name());
+    r.set("gflops", stats.timing.gflops);
+    r.set("paper_gflops", row.paper_gflops);
+    r.set("potential_gflops", potential_gflops(dev.spec(), stats.trace));
+    r.set("blocks_per_sm", stats.occupancy.blocks_per_sm);
+    r.set("regs_per_thread", stats.regs_per_thread);
+    r.set("fmad_fraction", stats.trace.fmad_fraction());
+    r.set("dram_gbs", stats.timing.dram_gbs);
+    r.set("modeled_ms", stats.timing.seconds * 1e3);
   }
-  t.print(std::cout);
+  t.print(h.human());
 
-  // The advisor's view of the naive kernel (the §4.1 diagnosis), with each
-  // recommendation citing the measured g80prof counters behind it.
+  // The advisor's view of the naive kernel (the §4.1 diagnosis): once citing
+  // the measured g80prof counters, once citing the g80scope source line the
+  // relevant stall cycles attribute to.
+  scope::Session naive_scope;
   const auto naive = run_matmul(dev, {MatmulVariant::kNaive, 16}, n, da, db,
-                                dc, /*functional=*/false);
-  std::cout << "\nAdvisor on the naive kernel:\n"
+                                dc, /*functional=*/false, nullptr,
+                                &naive_scope);
+  h.human() << "\nAdvisor on the naive kernel (g80prof evidence):\n"
             << format_advice(advise(dev.spec(), naive,
                                     prof::derive_counters(dev.spec(), naive)));
+  if (!naive_scope.launches().empty()) {
+    h.human() << "\nAdvisor on the naive kernel (g80scope hot lines):\n"
+              << format_advice(advise(dev.spec(), naive,
+                                      naive_scope.launches().front().scope));
+  }
+
+  // Where the modeled cycles went, per version, and which source lines cost
+  // the most stall cycles across the whole §4 walk.
+  h.human() << "\n" << scope_report(dev.spec(), scope_session);
 
   // Machine-readable session report: per-version counters plus the paper's
   // Table 2 (instruction mix / FMAD fraction) and Table 3 (configuration,
   // occupancy, GFLOPS) columns.
-  std::cout << "\ng80prof JSON report:\n"
+  h.human() << "\ng80prof JSON report:\n"
             << profile_json(dev.spec(), profiler) << "\n";
-  return 0;
+  return h.finish(dev.spec());
 }

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Diff g80bench-result files against checked-in baselines.
+
+Usage: check_bench_regression.py BASELINE_DIR RESULT_DIR [--rtol R]
+
+For every BENCH_*.json in BASELINE_DIR there must be a same-named file in
+RESULT_DIR with:
+  * the same result schema ("g80bench-result", same schema_version),
+  * the same device_spec_hash (results from a different modeled device are
+    not comparable -- regenerate the baselines instead),
+  * the same set of result rows and metric keys, and
+  * every metric value within --rtol relative tolerance (default 1e-6),
+    EXCEPT metrics whose key starts with "wall_", which are host wall-clock
+    measurements and are skipped.
+
+Modeled quantities in this suite are deterministic, so the default tolerance
+only absorbs cross-platform floating-point formatting, not real drift.
+Stdlib-only; exits 0 on match, 1 on any regression, 2 on usage errors.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def fail(msg):
+    print(f"REGRESSION: {msg}")
+    return 1
+
+
+def compare_file(name, base, got, rtol):
+    errors = 0
+    bp = base.get("provenance", {})
+    gp = got.get("provenance", {})
+    if bp.get("schema") != gp.get("schema") or bp.get(
+        "schema_version"
+    ) != gp.get("schema_version"):
+        return fail(
+            f"{name}: schema mismatch "
+            f"({bp.get('schema')} v{bp.get('schema_version')} vs "
+            f"{gp.get('schema')} v{gp.get('schema_version')})"
+        )
+    if bp.get("device_spec_hash") != gp.get("device_spec_hash"):
+        return fail(
+            f"{name}: device_spec_hash mismatch "
+            f"({bp.get('device_spec_hash')} vs {gp.get('device_spec_hash')}) "
+            "-- different modeled device; regenerate baselines"
+        )
+
+    base_rows = {r["name"]: r.get("metrics", {}) for r in base.get("results", [])}
+    got_rows = {r["name"]: r.get("metrics", {}) for r in got.get("results", [])}
+    for row in sorted(set(base_rows) | set(got_rows)):
+        if row not in got_rows:
+            errors += fail(f"{name}: result row '{row}' missing from new run")
+            continue
+        if row not in base_rows:
+            errors += fail(f"{name}: new result row '{row}' not in baseline")
+            continue
+        bm, gm = base_rows[row], got_rows[row]
+        keys = {k for k in set(bm) | set(gm) if not k.startswith("wall_")}
+        for key in sorted(keys):
+            if key not in gm:
+                errors += fail(f"{name}: {row}.{key} missing from new run")
+                continue
+            if key not in bm:
+                errors += fail(f"{name}: new metric {row}.{key} not in baseline")
+                continue
+            b, g = bm[key], gm[key]
+            if b is None or g is None:
+                if b != g:
+                    errors += fail(f"{name}: {row}.{key} = {g}, baseline {b}")
+                continue
+            tol = rtol * max(1.0, abs(b))
+            if abs(g - b) > tol:
+                errors += fail(
+                    f"{name}: {row}.{key} = {g:.9g}, baseline {b:.9g} "
+                    f"(|diff| {abs(g - b):.3g} > tol {tol:.3g})"
+                )
+    return errors
+
+
+def main(argv):
+    rtol = 1e-6
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--rtol":
+            if i + 1 >= len(argv):
+                print("check_bench_regression: --rtol needs a number")
+                return 2
+            try:
+                rtol = float(argv[i + 1])
+            except ValueError:
+                print("check_bench_regression: --rtol needs a number")
+                return 2
+            i += 2
+        else:
+            args.append(argv[i])
+            i += 1
+    if len(args) != 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    base_dir, got_dir = args
+
+    baselines = sorted(
+        f
+        for f in os.listdir(base_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not baselines:
+        print(f"check_bench_regression: no BENCH_*.json baselines in {base_dir}")
+        return 2
+
+    errors = 0
+    for fname in baselines:
+        got_path = os.path.join(got_dir, fname)
+        if not os.path.exists(got_path):
+            errors += fail(f"{fname}: no matching result in {got_dir}")
+            continue
+        errors += compare_file(fname, load(os.path.join(base_dir, fname)),
+                               load(got_path), rtol)
+
+    if errors:
+        print(f"check_bench_regression: FAILED ({errors} mismatch(es))")
+        return 1
+    print(
+        f"check_bench_regression: {len(baselines)} bench(es) match baselines "
+        f"(rtol {rtol:g}, wall_* metrics skipped)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

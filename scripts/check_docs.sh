@@ -3,8 +3,8 @@
 #
 #   1. every relative markdown link in README.md and docs/*.md resolves to
 #      an existing file (anchors stripped; external schemes skipped), and
-#   2. every `./build/bench/<target>` command in docs/paper-map.md names a
-#      bench target that actually exists in bench/CMakeLists.txt.
+#   2. every `./build/bench/<target>` command in README.md or any docs/*.md
+#      names a bench target that actually exists in bench/CMakeLists.txt.
 #
 # Usage: scripts/check_docs.sh    (from anywhere; paths resolve to the repo)
 set -euo pipefail
@@ -31,17 +31,21 @@ for doc in "$repo"/README.md "$repo"/docs/*.md; do
   done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
 done
 
-# --- 2. paper-map bench commands exist in the build ----------------------------
+# --- 2. documented bench commands exist in the build ---------------------------
+# Discover docs by glob (same set as the link check) rather than a hard-coded
+# list, so a new doc's bench commands are covered automatically.
 cmake_benches="$repo/bench/CMakeLists.txt"
-while IFS= read -r target; do
-  if ! grep -Eq "(g80_bench\($target\)|add_executable\($target )" \
-       "$cmake_benches"; then
-    echo "MISSING BENCH TARGET: docs/paper-map.md names './build/bench/$target'" \
-         "but bench/CMakeLists.txt defines no such target"
-    fail=1
-  fi
-done < <(grep -o '\./build/bench/[A-Za-z0-9_]*' "$repo/docs/paper-map.md" \
-         | sed 's|\./build/bench/||' | sort -u)
+for doc in "$repo"/README.md "$repo"/docs/*.md; do
+  while IFS= read -r target; do
+    if ! grep -Eq "(g80_bench\($target\)|add_executable\($target )" \
+         "$cmake_benches"; then
+      echo "MISSING BENCH TARGET: ${doc#"$repo"/} names './build/bench/$target'" \
+           "but bench/CMakeLists.txt defines no such target"
+      fail=1
+    fi
+  done < <(grep -o '\./build/bench/[A-Za-z0-9_]*' "$doc" \
+           | sed 's|\./build/bench/||' | sort -u)
+done
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Run every harness-converted bench and collect its g80bench-result JSON as
+# BENCH_<name>.json in the output directory.
+#
+# Usage: scripts/run_benches.sh [build_dir] [out_dir]
+#   build_dir  defaults to ./build   (must already be built)
+#   out_dir    defaults to ./bench-results
+#
+# Exits non-zero if any bench fails or produces no result file.  Compare the
+# collected results against the checked-in baselines with:
+#   python3 scripts/check_bench_regression.py bench/baselines bench-results
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+out="${2:-$repo/bench-results}"
+mkdir -p "$out"
+
+# Benches on the common harness CLI (--out/--json/--seed).  Extend this list
+# as more benches are converted (bench/harness.h documents the contract).
+benches=(
+  sec4_matmul_versions
+  fig4_matmul_tiles
+  micro_access_patterns
+  ablation_bankconflict
+  rt_throughput
+  scope_overhead
+)
+
+fail=0
+for b in "${benches[@]}"; do
+  bin="$build/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "run_benches: missing binary $bin (build the repo first)" >&2
+    fail=1
+    continue
+  fi
+  echo "== $b"
+  if ! "$bin" --out "$out/BENCH_$b.json" > "$out/$b.log" 2>&1; then
+    echo "run_benches: $b FAILED (see $out/$b.log)" >&2
+    fail=1
+    continue
+  fi
+  if [ ! -s "$out/BENCH_$b.json" ]; then
+    echo "run_benches: $b produced no result file" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "run_benches: FAILED"
+  exit 1
+fi
+echo "run_benches: ${#benches[@]} result files in $out"

@@ -69,12 +69,13 @@ void matmul_cpu(int n, const std::vector<float>& a, const std::vector<float>& b,
 LaunchStats run_matmul(Device& dev, const MatmulConfig& cfg, int n,
                        DeviceBuffer<float>& a, DeviceBuffer<float>& b,
                        DeviceBuffer<float>& c, bool functional,
-                       prof::Profiler* profiler) {
+                       prof::Profiler* profiler, scope::Session* scope) {
   LaunchOptions opt;
   opt.regs_per_thread = cfg.regs_per_thread();
   opt.functional = functional;
   opt.prof.sink = profiler;
-  if (profiler != nullptr) opt.prof.kernel_name = cfg.name();
+  opt.scope.sink = scope;
+  if (profiler != nullptr || scope != nullptr) opt.prof.kernel_name = cfg.name();
 
   if (cfg.variant == MatmulVariant::kNaive ||
       cfg.variant == MatmulVariant::kNaiveUnrolled) {

@@ -201,11 +201,13 @@ struct MatmulRegTiledKernel {
 
 // Launches the configured variant over n x n matrices already on the device.
 // When `profiler` is non-null the launch reports its counters to it under
-// the variant's `cfg.name()`.
+// the variant's `cfg.name()`; when `scope` is non-null the launch likewise
+// records its g80scope time series there.
 LaunchStats run_matmul(Device& dev, const MatmulConfig& cfg, int n,
                        DeviceBuffer<float>& a, DeviceBuffer<float>& b,
                        DeviceBuffer<float>& c, bool functional,
-                       prof::Profiler* profiler = nullptr);
+                       prof::Profiler* profiler = nullptr,
+                       scope::Session* scope = nullptr);
 
 class MatmulApp : public App {
  public:

@@ -1,0 +1,36 @@
+#include "common/provenance.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/version.h"  // configured from version.h.in
+
+namespace g80 {
+
+Provenance build_provenance(std::string schema, int schema_version) {
+  Provenance p;
+  p.schema = std::move(schema);
+  p.schema_version = schema_version;
+  p.git_describe = G80_GIT_DESCRIBE;
+  p.build_config = G80_BUILD_CONFIG;
+  return p;
+}
+
+void write_provenance(JsonWriter& w, const Provenance& p) {
+  char hash[2 + 16 + 1] = "";
+  if (p.device_spec_hash != 0) {
+    std::snprintf(hash, sizeof hash, "0x%016llx",
+                  static_cast<unsigned long long>(p.device_spec_hash));
+  }
+  w.key("provenance")
+      .begin_object()
+      .kv("schema", p.schema)
+      .kv("schema_version", p.schema_version)
+      .kv("git_describe", p.git_describe)
+      .kv("build_config", p.build_config)
+      .kv("device", p.device)
+      .kv("device_spec_hash", static_cast<const char*>(hash))
+      .end_object();
+}
+
+}  // namespace g80

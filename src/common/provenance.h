@@ -1,0 +1,38 @@
+// Common provenance stamp for every machine-readable artifact the repo
+// emits (g80prof profile JSON, Chrome traces, g80scope series, bench
+// results).  A consumer diffing two artifacts — most importantly
+// scripts/check_bench_regression.py — can refuse to compare numbers that
+// came from different schemas, build configurations, or modeled devices.
+//
+// The build fields come from a header CMake configures at build time
+// (common/version.h.in); the device fields are filled by the emitting layer
+// from its DeviceSpec (common cannot depend on hw), typically via
+// hw/device_spec.h's device_spec_hash().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+
+namespace g80 {
+
+struct Provenance {
+  std::string schema;        // artifact kind, e.g. "g80bench-result"
+  int schema_version = 1;
+  std::string git_describe;  // `git describe --always --dirty --tags`
+  std::string build_config;  // CMAKE_BUILD_TYPE
+  std::string device;        // DeviceSpec::name; empty if not device-bound
+  std::uint64_t device_spec_hash = 0;  // 0 if not device-bound
+};
+
+// Provenance with the build-identity fields filled in and the device fields
+// left empty for the caller.
+Provenance build_provenance(std::string schema, int schema_version = 1);
+
+// Writes `"provenance": {...}` as the next member of the currently open
+// JSON object.  The spec hash renders as a hex string so no consumer ever
+// rounds it through a double.
+void write_provenance(JsonWriter& w, const Provenance& p);
+
+}  // namespace g80

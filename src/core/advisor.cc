@@ -200,6 +200,69 @@ std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& s,
   return out;
 }
 
+namespace {
+
+// Which scope stall category substantiates which advice kind.
+double site_category_cycles(AdviceKind kind, const scope::SiteAttribution& s) {
+  switch (kind) {
+    case AdviceKind::kImproveCoalescing:
+      return s.uncoalesced_cycles;
+    case AdviceKind::kFixBankConflicts:
+      return s.serialization_cycles;
+    case AdviceKind::kSplitKernelForGlobalSync:
+      return s.barrier_cycles;
+    case AdviceKind::kUseSharedMemoryTiling:
+    case AdviceKind::kIncreaseOccupancy:
+    case AdviceKind::kReduceRegisterPressure:
+    case AdviceKind::kReduceSharedMemoryUsage:
+    case AdviceKind::kUseConstantOrTextureCache:
+      return s.mem_stall_cycles;
+    default:
+      return 0.0;
+  }
+}
+
+const char* site_category_name(AdviceKind kind) {
+  switch (kind) {
+    case AdviceKind::kImproveCoalescing:
+      return "uncoalesced-replay";
+    case AdviceKind::kFixBankConflicts:
+      return "serialization";
+    case AdviceKind::kSplitKernelForGlobalSync:
+      return "barrier-wait";
+    default:
+      return "memory-stall";
+  }
+}
+
+}  // namespace
+
+std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& s,
+                           const scope::KernelScope& scope) {
+  std::vector<Advice> out = advise(spec, s);
+  // Suffix each triggered advice with the source line that g80scope's
+  // stall-attribution table charges the most cycles of the matching stall
+  // category — the "which line do I change" pointer the plain diagnosis
+  // cannot give.
+  for (Advice& a : out) {
+    const scope::SiteAttribution* hot = nullptr;
+    double hot_cycles = 0;
+    for (const scope::SiteAttribution& site : scope.sites) {
+      const double c = site_category_cycles(a.kind, site);
+      if (c > hot_cycles) {
+        hot_cycles = c;
+        hot = &site;
+      }
+    }
+    if (hot != nullptr && hot_cycles > 0) {
+      a.message += cat(" [hot line: ", hot->file, ":", hot->line, " — ",
+                       fixed(hot_cycles, 0), " ", site_category_name(a.kind),
+                       " cycles]");
+    }
+  }
+  return out;
+}
+
 std::string format_advice(const std::vector<Advice>& advice) {
   if (advice.empty()) return "  (no advice: kernel is well balanced)\n";
   std::string s;

@@ -17,6 +17,7 @@
 
 #include "cudalite/launch.h"
 #include "prof/counters.h"
+#include "scope/scope.h"
 
 namespace g80 {
 
@@ -49,6 +50,13 @@ std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& stats);
 // cite profiler evidence rather than only modeled quantities.
 std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& stats,
                            const prof::KernelCounters& measured);
+
+// g80scope integration: same rules again, but each triggered advice also
+// names the kernel source line g80scope attributes the most stall cycles of
+// the relevant category to (e.g. "[hot line: matmul.cc:42 — 1.1e6
+// uncoalesced-replay cycles]"), so the suggestion points at the line to fix.
+std::vector<Advice> advise(const DeviceSpec& spec, const LaunchStats& stats,
+                           const scope::KernelScope& scope);
 
 // Potential issue-limited throughput from the instruction mix — the paper's
 // "1/8 of operations are fused multiply-adds => 43.2 GFLOPS potential" (§4.1).

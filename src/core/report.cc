@@ -1,8 +1,11 @@
 #include "core/report.h"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "common/json.h"
+#include "common/provenance.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "core/advisor.h"
@@ -39,6 +42,15 @@ std::string launch_report(const DeviceSpec& spec, const LaunchStats& s) {
      << " shared memory/block\n\n";
 
   // --- Instruction mix ---
+  if (tr.num_warps == 0) {
+    // Degenerate launch (no warps traced): the per-warp means below would
+    // divide by zero, and there is nothing to report anyway.
+    os << "instruction mix: (no warps traced)\n\n"
+       << "timing model: " << fixed(t.seconds * 1e3, 3) << " ms\n\n"
+       << "advisor:\n"
+       << format_advice(advise(spec, s));
+    return os.str();
+  }
   os << "instruction mix (per traced warp, " << tr.num_warps << " warps from "
      << tr.num_blocks << " block(s)):\n";
   {
@@ -183,10 +195,87 @@ std::string profile_report(const DeviceSpec& spec,
   return os.str();
 }
 
+std::string scope_report(const DeviceSpec& spec, const scope::Session& session,
+                         std::size_t top_n) {
+  std::ostringstream os;
+  const auto launches = session.launches();
+  os << "=== g80scope session: " << launches.size() << " launch(es) ===\n\n";
+
+  // Per-launch stall-cycle budget: where the modeled cycles went.
+  TextTable budget({"#", "kernel", "horizon cyc", "buckets", "issue",
+                    "serial", "uncoal", "mem stall", "barrier"});
+  for (const auto& rec : launches) {
+    const auto& tot = rec.scope.totals;
+    budget.add_row({std::to_string(rec.id), rec.kernel_name,
+                    fixed(rec.scope.horizon_cycles, 0),
+                    std::to_string(rec.scope.num_buckets),
+                    fixed(tot.issue_cycles, 0),
+                    fixed(tot.serialization_cycles, 0),
+                    fixed(tot.uncoalesced_cycles, 0),
+                    fixed(tot.mem_stall_cycles, 0),
+                    fixed(tot.barrier_cycles, 0)});
+  }
+  os << budget.to_string();
+
+  // Session-wide site attribution: merge every launch's table by source
+  // position, then rank by total attributed stall cycles.
+  std::map<std::pair<std::string, std::uint32_t>, scope::SiteAttribution> merged;
+  for (const auto& rec : launches) {
+    for (const auto& site : rec.scope.sites) {
+      auto& m = merged[{site.file, site.line}];
+      m.file = site.file;
+      m.line = site.line;
+      m.uncoalesced_cycles += site.uncoalesced_cycles;
+      m.serialization_cycles += site.serialization_cycles;
+      m.barrier_cycles += site.barrier_cycles;
+      m.mem_stall_cycles += site.mem_stall_cycles;
+      m.global_instructions += site.global_instructions;
+      m.syncs += site.syncs;
+    }
+  }
+  std::vector<scope::SiteAttribution> ranked;
+  ranked.reserve(merged.size());
+  for (auto& [key, site] : merged) ranked.push_back(std::move(site));
+  std::sort(ranked.begin(), ranked.end(),
+            [](const scope::SiteAttribution& a,
+               const scope::SiteAttribution& b) {
+              return a.total_cycles() > b.total_cycles();
+            });
+  double session_stall = 0;
+  for (const auto& s : ranked) session_stall += s.total_cycles();
+
+  os << "\ncostliest lines (attributed stall cycles, top "
+     << std::min(top_n, ranked.size()) << " of " << ranked.size() << "):\n";
+  if (ranked.empty() || session_stall <= 0) {
+    os << "  (no attributed stalls)\n";
+    return os.str();
+  }
+  TextTable sites({"line", "stall cyc", "share %", "uncoal", "serial",
+                   "barrier", "mem stall", "gmem ops", "syncs"});
+  for (std::size_t i = 0; i < ranked.size() && i < top_n; ++i) {
+    const auto& s = ranked[i];
+    sites.add_row({cat(s.file, ":", s.line), fixed(s.total_cycles(), 0),
+                   fixed(100.0 * s.total_cycles() / session_stall, 1),
+                   fixed(s.uncoalesced_cycles, 0),
+                   fixed(s.serialization_cycles, 0),
+                   fixed(s.barrier_cycles, 0), fixed(s.mem_stall_cycles, 0),
+                   std::to_string(s.global_instructions),
+                   std::to_string(s.syncs)});
+  }
+  os << sites.to_string();
+  return os.str();
+}
+
 std::string profile_json(const DeviceSpec& spec,
                          const prof::Profiler& profiler) {
   JsonWriter w;
   w.begin_object();
+  {
+    Provenance p = build_provenance("g80prof-profile");
+    p.device = spec.name;
+    p.device_spec_hash = device_spec_hash(spec);
+    write_provenance(w, p);
+  }
   w.key("profiler");
   w.value("g80prof");
   w.key("device");

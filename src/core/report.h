@@ -10,6 +10,7 @@
 
 #include "cudalite/launch.h"
 #include "prof/profiler.h"
+#include "scope/session.h"
 #include "timing/timeline.h"
 
 namespace g80 {
@@ -31,6 +32,13 @@ std::string timeline_report(const Timeline& tl);
 // hardware-style counters, plus transfer totals.
 std::string profile_report(const DeviceSpec& spec,
                            const prof::Profiler& profiler);
+
+// g80scope session report: per-launch stall-cycle budget (where the modeled
+// cycles went: pure issue, warp serialization, uncoalesced replay, exposed
+// memory latency, barrier wait) followed by the session's top-N costliest
+// source lines — the stall-attribution table the advisor cites.
+std::string scope_report(const DeviceSpec& spec, const scope::Session& session,
+                         std::size_t top_n = 8);
 
 // Machine-readable form of the same session: a JSON document with, per
 // kernel, the raw counters plus the derived paper columns — the Table 2

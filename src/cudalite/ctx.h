@@ -193,6 +193,7 @@ class Ctx {
   // --- Barrier (bar.sync) ---
   void sync(const std::source_location& loc = std::source_location::current()) {
     rec_.count(OpClass::kSync);
+    rec_.sync_site(site_id(loc), loc);
     // g80check fault injection may skip this thread's barrier
     // (FaultInjection::skip_barrier_*); compiled out of normal passes.
     if constexpr (Recorder::kSanitizing) {

@@ -23,6 +23,15 @@ struct BranchEvent {
   bool taken = false;
 };
 
+// Source position of one recorder call site, registered on first use so the
+// collector can translate site hashes back to file:line for attribution.
+// `file` is std::source_location's static string; no ownership.
+struct SiteNote {
+  std::uint32_t site = 0;
+  const char* file = "";
+  std::uint32_t line = 0;
+};
+
 struct LaneTrace {
   OpCounts ops;
   double flops = 0;
@@ -31,6 +40,11 @@ struct LaneTrace {
   std::vector<MemAccess> constant;
   std::vector<MemAccess> texture;
   std::vector<BranchEvent> branches;
+  // bar.sync call sites in execution order (one entry per sync executed).
+  std::vector<std::uint32_t> sync_sites;
+  // site -> source position table (few distinct sites per kernel; the
+  // recorder probes linearly with a most-recent fast path).
+  std::vector<SiteNote> site_notes;
 
   void clear() {
     ops = OpCounts{};
@@ -40,6 +54,8 @@ struct LaneTrace {
     constant.clear();
     texture.clear();
     branches.clear();
+    sync_sites.clear();
+    site_notes.clear();
   }
 };
 

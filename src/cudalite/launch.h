@@ -54,6 +54,17 @@ void record_launch(Profiler& sink, const std::string& kernel_name,
 }  // namespace detail
 }  // namespace prof
 
+// g80scope hook, same pattern: the Session type and its bridge live in
+// src/scope (scope/session.h).  Returns the session-assigned record id.
+namespace scope {
+class Session;
+namespace detail {
+std::uint64_t record_launch(Session& sink, const std::string& kernel_name,
+                            std::uint64_t stream, const DeviceSpec& spec,
+                            const LaunchStats& stats);
+}  // namespace detail
+}  // namespace scope
+
 // Opt-in per-launch profiling (g80prof).  Zero-cost when `sink` is null:
 // the launch executes exactly the same passes either way — counters are
 // derived after the fact from the trace pass's statistics, never measured
@@ -66,6 +77,20 @@ struct ProfileOptions {
   std::string kernel_name;
   // Issuing g80rt stream id; filled by Runtime::launch_async.
   std::uint64_t stream = 0;
+};
+
+// Opt-in per-launch time-series derivation (g80scope).  Like ProfileOptions
+// this is zero-cost when `sink` is null and cannot perturb results when it
+// is not: the series is derived after all passes complete, from the same
+// trace statistics the timing model already consumed
+// (bench/scope_overhead.cc asserts bit-identical outputs either way).
+// The kernel name and stream id are taken from ProfileOptions so a launch
+// profiled and scoped at once aggregates under one name.
+struct ScopeOptions {
+  scope::Session* sink = nullptr;  // enabled iff non-null
+  // When set, receives the session-assigned record id; g80rt uses it to
+  // stamp the launch's timeline span for the Chrome-trace counter tracks.
+  std::uint64_t* id_out = nullptr;
 };
 
 struct LaunchOptions {
@@ -88,6 +113,8 @@ struct LaunchOptions {
   SanitizerOptions sanitize;
   // g80prof: opt-in per-launch counter collection into a session profiler.
   ProfileOptions prof;
+  // g80scope: opt-in per-launch time-series derivation into a scope session.
+  ScopeOptions scope;
   // g80rt block scheduling: run the trace and functional passes' independent
   // blocks across this pool's workers.  nullptr falls back to the ambient
   // pool (set_ambient_launch_pool / ScopedLaunchPool), and with neither the
@@ -365,6 +392,14 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
   if (opt.prof.sink != nullptr) {
     prof::detail::record_launch(*opt.prof.sink, opt.prof.kernel_name,
                                 opt.prof.stream, spec, stats);
+  }
+  // ---- g80scope ----
+  // Same contract: the time series is derived from the already-computed
+  // trace statistics, never measured during a pass.
+  if (opt.scope.sink != nullptr) {
+    const std::uint64_t id = scope::detail::record_launch(
+        *opt.scope.sink, opt.prof.kernel_name, opt.prof.stream, spec, stats);
+    if (opt.scope.id_out != nullptr) *opt.scope.id_out = id;
   }
   return stats;
 }

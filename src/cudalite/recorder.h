@@ -28,6 +28,7 @@ struct NullRecorder {
   void mem(OpClass, std::uint64_t /*addr*/, std::uint32_t /*size*/,
            std::uint32_t /*site*/, const std::source_location& /*loc*/) {}
   void branch_outcome(bool, std::uint32_t /*site*/) {}
+  void sync_site(std::uint32_t /*site*/, const std::source_location& /*loc*/) {}
 };
 
 class LaneRecorder {
@@ -43,8 +44,9 @@ class LaneRecorder {
   void flops(double f) { lane_->flops += f; }
 
   void mem(OpClass c, std::uint64_t addr, std::uint32_t size,
-           std::uint32_t site, const std::source_location& /*loc*/) {
+           std::uint32_t site, const std::source_location& loc) {
     count(c);
+    note_site(site, loc);
     const bool store =
         c == OpClass::kStoreGlobal || c == OpClass::kStoreShared;
     const MemAccess a{addr, size, site, true, store};
@@ -63,7 +65,21 @@ class LaneRecorder {
     lane_->branches.push_back({site, taken});
   }
 
+  void sync_site(std::uint32_t site, const std::source_location& loc) {
+    note_site(site, loc);
+    lane_->sync_sites.push_back(site);
+  }
+
  private:
+  void note_site(std::uint32_t site, const std::source_location& loc) {
+    auto& notes = lane_->site_notes;
+    if (!notes.empty() && notes.back().site == site) return;
+    for (const SiteNote& n : notes) {
+      if (n.site == site) return;
+    }
+    notes.push_back({site, loc.file_name(), loc.line()});
+  }
+
   LaneTrace* lane_;
 };
 

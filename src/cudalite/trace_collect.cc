@@ -51,6 +51,49 @@ std::vector<WarpAccess> group_warp_instructions(
   return groups;
 }
 
+// The call site of one reconstructed warp instruction: every grouped lane
+// access shares it, so the first active lane decides.
+std::uint32_t group_site(const WarpAccess& acc) {
+  for (const MemAccess& a : acc) {
+    if (a.active) return a.site;
+  }
+  return 0;
+}
+
+// Per-site accumulator for the g80scope attribution (few distinct sites per
+// kernel; linear probing is cheaper than hashing here).
+class SiteAccumulator {
+ public:
+  explicit SiteAccumulator(const std::vector<LaneTrace>& lanes)
+      : lanes_(lanes) {}
+
+  SiteStats& at(std::uint32_t site) {
+    for (SiteStats& s : sites_) {
+      if (s.site == site) return s;
+    }
+    SiteStats s;
+    s.site = site;
+    for (const LaneTrace& lane : lanes_) {
+      for (const SiteNote& n : lane.site_notes) {
+        if (n.site == site) {
+          s.file = n.file;
+          s.line = n.line;
+          break;
+        }
+      }
+      if (s.line != 0) break;
+    }
+    sites_.push_back(s);
+    return sites_.back();
+  }
+
+  std::vector<SiteStats> take() { return std::move(sites_); }
+
+ private:
+  const std::vector<LaneTrace>& lanes_;
+  std::vector<SiteStats> sites_;
+};
+
 }  // namespace
 
 BlockTrace collect_block_trace(const DeviceSpec& spec,
@@ -61,6 +104,7 @@ BlockTrace collect_block_trace(const DeviceSpec& spec,
 
   BlockTrace block;
   block.warps.resize(num_warps);
+  SiteAccumulator sites(lanes);
 
   // One texture cache per block approximates the per-SM cache shared by the
   // blocks resident on an SM (they run the same kernel, so per-block
@@ -107,6 +151,17 @@ BlockTrace collect_block_trace(const DeviceSpec& spec,
     for (const WarpAccess& acc : group_warp_instructions(
              lanes, lo, hi, &LaneTrace::global, ws)) {
       const auto res = analyze_warp(spec, acc);
+      {
+        SiteStats& ss = sites.at(group_site(acc));
+        ++ss.global_instructions;
+        ss.global_transactions += static_cast<std::uint64_t>(res.transactions);
+        ss.dram_bytes += res.dram_bytes;
+        if (!res.coalesced) ++ss.uncoalesced_instructions;
+        if (res.transactions > 2) {
+          ss.extra_transactions +=
+              static_cast<std::uint64_t>(res.transactions - 2);
+        }
+      }
       ++wt.global_instructions;
       wt.global.transactions += static_cast<std::uint64_t>(res.transactions);
       wt.global.bytes += res.dram_bytes;
@@ -136,6 +191,8 @@ BlockTrace collect_block_trace(const DeviceSpec& spec,
              lanes, lo, hi, &LaneTrace::shared, ws)) {
       const auto cost = analyze_shared_warp(spec, acc);
       wt.shared_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
+      sites.at(group_site(acc)).shared_extra_passes +=
+          static_cast<std::uint64_t>(cost.extra_passes);
     }
 
     // --- Constant memory: broadcast vs serialization ---
@@ -143,6 +200,8 @@ BlockTrace collect_block_trace(const DeviceSpec& spec,
              lanes, lo, hi, &LaneTrace::constant, ws)) {
       const auto cost = analyze_const_warp(spec, acc);
       wt.const_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
+      sites.at(group_site(acc)).const_extra_passes +=
+          static_cast<std::uint64_t>(cost.extra_passes);
     }
 
     // --- Texture: run the cache in warp-instruction order; misses behave
@@ -165,9 +224,34 @@ BlockTrace collect_block_trace(const DeviceSpec& spec,
         const std::uint64_t b = misses_this_inst * spec.texture_cache_line;
         wt.global.bytes += b;
         wt.global.scattered_bytes += b;
+        SiteStats& ss = sites.at(group_site(acc));
+        ss.texture_misses += misses_this_inst;
+        ss.global_transactions += misses_this_inst;
+        ss.dram_bytes += b;
+      }
+    }
+
+    // --- Barriers: warp-level count per call site (max over lanes, the same
+    // convention as the per-class instruction counts above). ---
+    {
+      std::unordered_map<std::uint32_t, std::uint64_t> warp_syncs;
+      std::unordered_map<std::uint32_t, std::uint64_t> lane_syncs;
+      for (int k = lo; k < hi; ++k) {
+        lane_syncs.clear();
+        for (const std::uint32_t site : lanes[k].sync_sites) {
+          ++lane_syncs[site];
+        }
+        for (const auto& [site, n] : lane_syncs) {
+          warp_syncs[site] = std::max(warp_syncs[site], n);
+        }
+      }
+      for (const auto& [site, n] : warp_syncs) {
+        sites.at(site).syncs += n;
       }
     }
   }
+  block.sites = sites.take();
+  merge_site_stats(block.sites, {});  // impose the deterministic ordering
   return block;
 }
 

@@ -1,5 +1,8 @@
 #include "hw/device_spec.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace g80 {
 
 double DeviceSpec::peak_mad_gflops() const {
@@ -48,6 +51,79 @@ DeviceSpec DeviceSpec::geforce_8800_gts() {
   s.dram_bandwidth_gbs = 64.0;
   s.global_mem_bytes = 640ull << 20;
   return s;
+}
+
+namespace {
+
+// FNV-1a, fed with deterministically formatted fields: doubles go through a
+// fixed "%.17g" so equal values always hash equally, and every field is
+// terminated with a separator so adjacent fields cannot alias.
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void bytes(const char* p) {
+    for (; *p != '\0'; ++p) {
+      h ^= static_cast<unsigned char>(*p);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // field separator
+    h *= 1099511628211ull;
+  }
+  void str(const std::string& s) { bytes(s.c_str()); }
+  void i(std::int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    bytes(buf);
+  }
+  void u(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    bytes(buf);
+  }
+  void d(double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    bytes(buf);
+  }
+};
+
+}  // namespace
+
+std::uint64_t device_spec_hash(const DeviceSpec& s) {
+  Fnv f;
+  f.str(s.name);
+  f.i(s.num_sms);
+  f.i(s.sps_per_sm);
+  f.i(s.sfus_per_sm);
+  f.d(s.core_clock_ghz);
+  f.i(s.registers_per_sm);
+  f.u(s.shared_mem_per_sm);
+  f.i(s.max_threads_per_sm);
+  f.i(s.max_blocks_per_sm);
+  f.i(s.warp_size);
+  f.i(s.max_threads_per_block);
+  f.i(s.max_grid_dim);
+  f.i(s.register_alloc_unit);
+  f.d(s.dram_bandwidth_gbs);
+  f.u(s.global_mem_bytes);
+  f.i(s.shared_mem_banks);
+  f.i(s.coalesce_segment_words);
+  f.u(s.dram_transaction_bytes);
+  f.d(s.global_latency_cycles);
+  f.d(s.dram_efficiency);
+  f.d(s.dram_scattered_efficiency);
+  f.d(s.mem_issue_interval_cycles);
+  f.d(s.uncoalesced_issue_cycles_per_txn);
+  f.d(s.dram_transactions_per_cycle);
+  f.d(s.launch_overhead_us);
+  f.d(s.shared_latency_cycles);
+  f.u(s.constant_cache_bytes);
+  f.u(s.texture_cache_bytes);
+  f.u(s.texture_cache_line);
+  f.d(s.texture_hit_latency_cycles);
+  f.d(s.pcie_bandwidth_gbs);
+  f.d(s.pcie_latency_us);
+  return f.h;
 }
 
 }  // namespace g80

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace g80 {
@@ -94,5 +95,10 @@ struct DeviceSpec {
   static DeviceSpec geforce_8800_ultra();  // higher clocks, same topology
   static DeviceSpec geforce_8800_gts();    // 12 SMs, narrower bus
 };
+
+// Stable hash over every architectural field of the spec, stamped into JSON
+// artifacts (g80prof reports, bench results) so trajectory files from
+// different builds are only ever compared against the same modeled device.
+std::uint64_t device_spec_hash(const DeviceSpec& spec);
 
 }  // namespace g80

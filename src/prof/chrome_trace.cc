@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/json.h"
+#include "common/provenance.h"
 
 namespace g80::prof {
 
@@ -59,7 +60,18 @@ void emit_thread_name(JsonWriter& w, int tid, const char* name) {
 std::string chrome_trace_json(const Timeline& tl,
                               const ChromeTraceOptions& opt) {
   JsonWriter w;
-  w.begin_object().kv("displayTimeUnit", "ms").key("traceEvents").begin_array();
+  w.begin_object().kv("displayTimeUnit", "ms");
+  {
+    // Device fields are only known when the caller passes opt.spec; the
+    // build/git fields stamp every trace regardless.
+    Provenance p = build_provenance("g80-chrome-trace");
+    if (opt.spec != nullptr) {
+      p.device = opt.spec->name;
+      p.device_spec_hash = device_spec_hash(*opt.spec);
+    }
+    write_provenance(w, p);
+  }
+  w.key("traceEvents").begin_array();
 
   // Track metadata: one named process, one named track per engine.
   w.begin_object()
@@ -88,6 +100,7 @@ std::string chrome_trace_json(const Timeline& tl,
     }
   }
 
+  if (opt.extra_events) opt.extra_events(w);
   w.end_array().end_object();
   return w.str();
 }

@@ -17,8 +17,11 @@
 // through the workflow.
 #pragma once
 
+#include <functional>
 #include <string>
 
+#include "common/json.h"
+#include "hw/device_spec.h"
 #include "timing/timeline.h"
 
 namespace g80::prof {
@@ -26,6 +29,15 @@ namespace g80::prof {
 struct ChromeTraceOptions {
   // Emit the nested per-wave block slices of kernel spans.
   bool block_spans = true;
+  // When set, the trace carries a top-level "provenance" object stamped
+  // with build identity and this modeled device (trace viewers ignore
+  // unknown top-level keys, so the file still loads everywhere).
+  const DeviceSpec* spec = nullptr;
+  // Hook appending extra events inside the open traceEvents array, after
+  // the engine spans.  g80scope's per-SM counter tracks arrive through here
+  // (scope/chrome_counters.h) so one file holds spans and counters without
+  // prof depending on the scope layer.
+  std::function<void(JsonWriter&)> extra_events;
 };
 
 std::string chrome_trace_json(const Timeline& tl,

@@ -15,7 +15,8 @@ thread_local Runtime* t_active_runtime = nullptr;
 Runtime::Runtime(Device& dev, RuntimeOptions opt)
     : dev_(dev),
       pool_(WorkerPool::default_width(opt.workers)),
-      profiler_(opt.profiler) {}
+      profiler_(opt.profiler),
+      scope_(opt.scope) {}
 
 namespace detail {
 std::vector<TimelineBlockSpan> wave_block_spans(const DeviceSpec& spec,
@@ -191,7 +192,9 @@ void Runtime::event_record(Stream s, Event e) {
   op.seq = next_seq_++;
   op.engine = TimelineEngine::kHost;
   op.label = "event " + std::to_string(e.id);
-  op.run = [](std::vector<TimelineBlockSpan>&) { return 0.0; };
+  op.run = [](std::vector<TimelineBlockSpan>&, std::uint64_t&) {
+    return 0.0;
+  };
   op.event = &ev;
   st.queue.push_back(std::move(op));
   cv_.notify_all();
@@ -221,16 +224,17 @@ double Runtime::event_elapsed_seconds(Event start, Event stop) {
 
 void Runtime::host_func(Stream s, std::function<void()> fn) {
   enqueue(s, TimelineEngine::kHost, "host_func",
-          [fn = std::move(fn)](std::vector<TimelineBlockSpan>&) -> double {
+          [fn = std::move(fn)](std::vector<TimelineBlockSpan>&,
+                               std::uint64_t&) -> double {
             fn();
             return 0.0;
           });
 }
 
-void Runtime::enqueue(const Stream& s, TimelineEngine engine,
-                      std::string label,
-                      std::function<double(std::vector<TimelineBlockSpan>&)> run,
-                      EventImpl* event) {
+void Runtime::enqueue(
+    const Stream& s, TimelineEngine engine, std::string label,
+    std::function<double(std::vector<TimelineBlockSpan>&, std::uint64_t&)> run,
+    EventImpl* event) {
   std::lock_guard<std::mutex> lk(mu_);
   StreamImpl& st = stream_impl_locked(s);
   Op op;
@@ -259,13 +263,14 @@ void Runtime::stream_loop(StreamImpl* st) {
 
     double duration = 0;
     std::vector<TimelineBlockSpan> blocks;
+    std::uint64_t scope_id = kNoScopeId;
     std::exception_ptr err;
     if (!skip) {
       // After the first failure the stream drains its queue without
       // executing, CUDA-style; the error resurfaces at synchronization.
       t_active_runtime = this;
       try {
-        duration = op.run(blocks);
+        duration = op.run(blocks, scope_id);
       } catch (...) {
         err = std::current_exception();
       }
@@ -280,6 +285,7 @@ void Runtime::stream_loop(StreamImpl* st) {
     pc.duration_s = err ? 0.0 : duration;
     pc.label = std::move(op.label);
     pc.blocks = err ? std::vector<TimelineBlockSpan>{} : std::move(blocks);
+    pc.scope_id = err ? kNoScopeId : scope_id;
     pc.event = op.event;
     commit_locked(op.seq, std::move(pc));
     st->busy = false;
@@ -298,7 +304,8 @@ void Runtime::commit_locked(std::uint64_t seq, PendingCommit pc) {
     PendingCommit& p = it->second;
     const TimelineSpan& span =
         timeline_.schedule(p.stream, p.engine, p.duration_s,
-                           std::move(p.label), std::move(p.blocks));
+                           std::move(p.label), std::move(p.blocks),
+                           p.scope_id);
     if (p.event != nullptr) {
       p.event->complete = true;
       p.event->timestamp_s = span.end_s;

@@ -79,6 +79,11 @@ struct RuntimeOptions {
   // and kernel timeline spans carry per-wave block spans for the Chrome
   // trace.  Null = no profiling, zero additional work per op.
   prof::Profiler* profiler = nullptr;
+  // g80scope: when set, every launch derives its per-SM time series into
+  // this session and the launch's timeline span is stamped with the record
+  // id, letting scope::chrome_trace_with_counters align counter tracks
+  // under the kernel slice.  Null = no scoping, zero additional work.
+  scope::Session* scope = nullptr;
 };
 
 namespace detail {
@@ -103,6 +108,7 @@ class Runtime {
   Device& device() { return dev_; }
   WorkerPool& pool() { return pool_; }
   prof::Profiler* profiler() { return profiler_; }
+  scope::Session* scope() { return scope_; }
 
   // --- Streams ---
   Stream stream_create();
@@ -138,8 +144,8 @@ class Runtime {
     auto data = std::make_shared<std::vector<T>>(std::move(src));
     const std::uint64_t bytes = data->size() * sizeof(T);
     enqueue(s, TimelineEngine::kCopy, "h2d " + std::to_string(bytes) + " B",
-            [this, &dst, data, sid = s.id](
-                std::vector<TimelineBlockSpan>&) -> double {
+            [this, &dst, data, sid = s.id](std::vector<TimelineBlockSpan>&,
+                                           std::uint64_t&) -> double {
               dst.copy_from_host(std::span<const T>(*data));
               const std::uint64_t n = data->size() * sizeof(T);
               const double secs = transfer_seconds(dev_.spec(), n, 1);
@@ -156,8 +162,8 @@ class Runtime {
                         const DeviceBuffer<T>& src) {
     enqueue(s, TimelineEngine::kCopy,
             "d2h " + std::to_string(src.bytes()) + " B",
-            [this, &dst, &src, sid = s.id](
-                std::vector<TimelineBlockSpan>&) -> double {
+            [this, &dst, &src, sid = s.id](std::vector<TimelineBlockSpan>&,
+                                           std::uint64_t&) -> double {
               dst = src.copy_to_host();
               const double secs = transfer_seconds(dev_.spec(), src.bytes(), 1);
               if (profiler_ != nullptr)
@@ -186,11 +192,17 @@ class Runtime {
     enqueue(s, TimelineEngine::kCompute, label,
             [this, grid, block, opt, stats_out, kernel, sid = s.id,
              targs = std::tuple<Args&...>(args...)](
-                std::vector<TimelineBlockSpan>& blocks) -> double {
+                std::vector<TimelineBlockSpan>& blocks,
+                std::uint64_t& scope_id) -> double {
               LaunchOptions o = opt;
               if (o.pool == nullptr) o.pool = &pool_;
               if (o.prof.sink == nullptr) o.prof.sink = profiler_;
               o.prof.stream = sid;
+              // Unless the caller attached an explicit scope session, use
+              // the runtime's; the record id tags this op's timeline span.
+              if (o.scope.sink == nullptr) o.scope.sink = scope_;
+              if (o.scope.sink != nullptr && o.scope.id_out == nullptr)
+                o.scope.id_out = &scope_id;
               const LaunchStats st = std::apply(
                   [&](Args&... as) {
                     return g80::launch(dev_, grid, block, o, kernel, as...);
@@ -228,8 +240,9 @@ class Runtime {
     TimelineEngine engine = TimelineEngine::kHost;
     std::string label;
     // Executes; returns the modeled duration and may fill per-wave block
-    // spans (kernel ops under profiling) for the committed timeline span.
-    std::function<double(std::vector<TimelineBlockSpan>&)> run;
+    // spans (kernel ops under profiling) and the g80scope record id (kernel
+    // ops under scoping) for the committed timeline span.
+    std::function<double(std::vector<TimelineBlockSpan>&, std::uint64_t&)> run;
     EventImpl* event = nullptr;
   };
 
@@ -248,6 +261,7 @@ class Runtime {
     double duration_s = 0;
     std::string label;
     std::vector<TimelineBlockSpan> blocks;
+    std::uint64_t scope_id = kNoScopeId;
     EventImpl* event = nullptr;
   };
 
@@ -256,9 +270,11 @@ class Runtime {
   EventImpl& event_impl_locked(const Event& e);
   void check_not_callback(const char* what);
 
-  void enqueue(const Stream& s, TimelineEngine engine, std::string label,
-               std::function<double(std::vector<TimelineBlockSpan>&)> run,
-               EventImpl* event = nullptr);
+  void enqueue(
+      const Stream& s, TimelineEngine engine, std::string label,
+      std::function<double(std::vector<TimelineBlockSpan>&, std::uint64_t&)>
+          run,
+      EventImpl* event = nullptr);
   void stream_loop(StreamImpl* st);
   // Record one finished op and flush the commit chain in issue order.
   void commit_locked(std::uint64_t seq, PendingCommit pc);
@@ -266,6 +282,7 @@ class Runtime {
   Device& dev_;
   WorkerPool pool_;
   prof::Profiler* profiler_ = nullptr;
+  scope::Session* scope_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   Timeline timeline_;

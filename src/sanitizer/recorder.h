@@ -37,6 +37,7 @@ class SanitizerRecorder {
   }
 
   void branch_outcome(bool, std::uint32_t) {}
+  void sync_site(std::uint32_t, const std::source_location&) {}
 
   // --- Fault-injection hooks (called from Ctx under `if constexpr`) ---
   bool skip_barrier() { return san_->should_skip_barrier(tid_, sync_seq_++); }

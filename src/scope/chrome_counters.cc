@@ -1,0 +1,92 @@
+#include "scope/chrome_counters.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace g80::scope {
+
+namespace {
+
+constexpr int kPid = 1;  // same modeled-device process as the engine spans
+
+void emit_counter(JsonWriter& w, const char* name, double ts_us,
+                  std::initializer_list<std::pair<const char*, double>> args) {
+  w.begin_object()
+      .kv("name", name)
+      .kv("ph", "C")
+      .kv("pid", kPid)
+      .kv("ts", ts_us);
+  w.key("args").begin_object();
+  for (const auto& [k, v] : args) w.kv(k, v);
+  w.end_object().end_object();
+}
+
+void emit_launch_counters(JsonWriter& w, const DeviceSpec& spec,
+                          const LaunchRecord& rec, double t0_s) {
+  const KernelScope& sc = rec.scope;
+  if (sc.num_buckets == 0) return;
+  const double cycle_s = 1.0 / (spec.core_clock_ghz * 1e9);
+  const double bucket_s = sc.bucket_cycles * cycle_s;
+  const double bw = sc.bucket_cycles;  // normalizer: cycles per bucket
+
+  char stalls_name[40], occ_name[40];
+  for (std::size_t i = 0; i < sc.sms.size(); ++i) {
+    std::snprintf(stalls_name, sizeof stalls_name, "SM%02zu stalls", i);
+    std::snprintf(occ_name, sizeof occ_name, "SM%02zu occupancy", i);
+    const SmSeries& sm = sc.sms[i];
+    for (int b = 0; b < sc.num_buckets; ++b) {
+      const double ts_us = (t0_s + b * bucket_s) * 1e6;
+      emit_counter(w, stalls_name, ts_us,
+                   {{"issue", sm.issue_cycles[b] / bw},
+                    {"serialization", sm.serialization_cycles[b] / bw},
+                    {"uncoalesced", sm.uncoalesced_cycles[b] / bw},
+                    {"mem_stall", sm.mem_stall_cycles[b] / bw},
+                    {"barrier", sm.barrier_cycles[b] / bw}});
+      emit_counter(w, occ_name, ts_us, {{"occupancy", sm.occupancy[b]}});
+    }
+    // Close the track at the horizon so the chart drops to zero instead of
+    // bleeding the last bucket into the next kernel.
+    const double end_us = (t0_s + sc.num_buckets * bucket_s) * 1e6;
+    emit_counter(w, stalls_name, end_us,
+                 {{"issue", 0.0},
+                  {"serialization", 0.0},
+                  {"uncoalesced", 0.0},
+                  {"mem_stall", 0.0},
+                  {"barrier", 0.0}});
+    emit_counter(w, occ_name, end_us, {{"occupancy", 0.0}});
+  }
+
+  for (int b = 0; b < sc.num_buckets; ++b) {
+    emit_counter(w, "DRAM utilization", (t0_s + b * bucket_s) * 1e6,
+                 {{"utilization", sc.dram_utilization[b]}});
+  }
+  emit_counter(w, "DRAM utilization",
+               (t0_s + sc.num_buckets * bucket_s) * 1e6,
+               {{"utilization", 0.0}});
+}
+
+}  // namespace
+
+std::string chrome_trace_with_counters(const Timeline& tl,
+                                       const Session& session,
+                                       const DeviceSpec& spec,
+                                       prof::ChromeTraceOptions opt) {
+  if (opt.spec == nullptr) opt.spec = &spec;
+  const std::vector<LaunchRecord> records = session.launches();
+  opt.extra_events = [&tl, &spec, records](JsonWriter& w) {
+    for (const LaunchRecord& rec : records) {
+      for (const TimelineSpan& s : tl.spans()) {
+        if (s.scope_id != rec.id) continue;
+        // Align the series to end with the span: the fixed launch overhead
+        // leads, the modeled kernel execution trails.
+        const double t0 = s.end_s - rec.scope.horizon_seconds(spec);
+        emit_launch_counters(w, spec, rec, t0);
+        break;
+      }
+    }
+  };
+  return prof::chrome_trace_json(tl, opt);
+}
+
+}  // namespace g80::scope

@@ -1,0 +1,36 @@
+// Merged Chrome-trace export: g80prof's engine spans plus g80scope's
+// per-SM counter tracks, in one file chrome://tracing (or Perfetto's legacy
+// importer) loads directly.
+//
+// The span side comes from prof::chrome_trace_json unchanged; the counter
+// side rides its `extra_events` hook.  For every scoped launch that was
+// routed through g80rt, the launch's timeline span carries the scope record
+// id (TimelineSpan::scope_id), and the counter samples are aligned so the
+// series *ends* at the span's end — the launch-overhead lead-in occupies
+// the gap at the span's start.  Tracks emitted per device:
+//
+//   "SM00 stalls" .. "SMnn stalls"   stacked per-bucket fractions of the
+//                                    SM's time: issue / serialization /
+//                                    uncoalesced / mem_stall / barrier
+//   "SM00 occupancy" .. etc.         achieved occupancy, 0..1
+//   "DRAM utilization"               device DRAM bytes vs the bandwidth
+//                                    ceiling, 0..1
+//
+// Scoped launches with no matching span (not routed through g80rt) are
+// skipped; export those with scope_json/scope_csv instead.
+#pragma once
+
+#include <string>
+
+#include "prof/chrome_trace.h"
+#include "scope/session.h"
+#include "timing/timeline.h"
+
+namespace g80::scope {
+
+std::string chrome_trace_with_counters(const Timeline& tl,
+                                       const Session& session,
+                                       const DeviceSpec& spec,
+                                       prof::ChromeTraceOptions opt = {});
+
+}  // namespace g80::scope

@@ -1,0 +1,271 @@
+#include "scope/scope.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace g80::scope {
+
+namespace {
+
+// Integrates a quantity spread uniformly over the time span [s0, s1) into
+// fixed-width buckets: each bucket receives rate x overlap, so the sum over
+// buckets equals `q` exactly (up to rounding) regardless of bucket width.
+void deposit(std::vector<double>& buckets, double bucket_cycles, double s0,
+             double s1, double q) {
+  if (q == 0.0 || s1 <= s0) return;
+  const double rate = q / (s1 - s0);
+  const int nb = static_cast<int>(buckets.size());
+  int b0 = std::clamp(static_cast<int>(s0 / bucket_cycles), 0, nb - 1);
+  int b1 = std::clamp(static_cast<int>(s1 / bucket_cycles), 0, nb - 1);
+  for (int b = b0; b <= b1; ++b) {
+    const double lo = std::max(s0, b * bucket_cycles);
+    const double hi = std::min(s1, (b + 1) * bucket_cycles);
+    if (hi > lo) buckets[b] += rate * (hi - lo);
+  }
+  // The span may end past the last bucket boundary by a rounding margin;
+  // fold that sliver into the final bucket so conservation stays exact.
+  const double past = s1 - nb * bucket_cycles;
+  if (past > 0.0) buckets[nb - 1] += rate * past;
+}
+
+// Everything one wave deposits, per SM, at full residency (scale == 1).
+struct WaveQuantities {
+  double duration = 0;      // timing.wave_cycles
+  double pure_issue = 0;    // issue floor minus the serialization below
+  double serialization = 0; // bank-conflict + constant-cache replay slots
+  double uncoalesced = 0;   // memory-port serialization from extra txns
+  double mem_stall = 0;     // residual: wave - issue floor - barrier
+  double barrier = 0;       // timing.sync_stall_cycles
+  double instructions = 0;  // warp-instructions issued
+  double dram_bytes = 0;
+  double warps = 0;         // resident warps (N)
+  int barrier_intervals = 1;
+};
+
+// Deposits one wave starting at `s0` with residency `scale` (the tail wave
+// of a partially-filled SM runs t/blocks_per_sm of a full wave: duration and
+// extensive quantities shrink together, so rates stay flat while occupancy
+// visibly drops).  The wave alternates [work][barrier-wait] segments, one
+// pair per barrier interval.
+void deposit_wave(SmSeries& sm, double bucket_cycles, double s0, double scale,
+                  const WaveQuantities& wq) {
+  const double duration = wq.duration * scale;
+  if (duration <= 0.0) return;
+  // Segmenting below bucket resolution only costs time; collapse to one
+  // interval once the whole wave fits in a bucket.
+  int k = wq.barrier_intervals;
+  if (duration <= bucket_cycles) k = 1;
+
+  // Resident warps cover the whole wave, barrier waits included (the warps
+  // are still occupying their contexts); normalized to a time-weighted
+  // average after all deposits.
+  deposit(sm.active_warps, bucket_cycles, s0, s0 + duration,
+          wq.warps * scale * duration);
+
+  const double work_total = std::max(0.0, duration - wq.barrier * scale);
+  const double bar_total = duration - work_total;
+  const double work_dt = work_total / k;
+  const double bar_dt = bar_total / k;
+  double t = s0;
+  for (int i = 0; i < k; ++i) {
+    const double f = scale / k;  // this segment's share of the wave
+    deposit(sm.issue_cycles, bucket_cycles, t, t + work_dt, wq.pure_issue * f);
+    deposit(sm.serialization_cycles, bucket_cycles, t, t + work_dt,
+            wq.serialization * f);
+    deposit(sm.uncoalesced_cycles, bucket_cycles, t, t + work_dt,
+            wq.uncoalesced * f);
+    deposit(sm.mem_stall_cycles, bucket_cycles, t, t + work_dt,
+            wq.mem_stall * f);
+    deposit(sm.instructions, bucket_cycles, t, t + work_dt,
+            wq.instructions * f);
+    deposit(sm.dram_bytes, bucket_cycles, t, t + work_dt, wq.dram_bytes * f);
+    t += work_dt;
+    deposit(sm.barrier_cycles, bucket_cycles, t, t + bar_dt, wq.barrier * f);
+    t += bar_dt;
+  }
+}
+
+}  // namespace
+
+KernelScope derive_scope(const DeviceSpec& spec, const Occupancy& occ,
+                         std::uint64_t total_blocks,
+                         const TraceSummary& summary,
+                         const KernelTiming& timing,
+                         const BucketConfig& cfg) {
+  G80_CHECK_MSG(summary.num_warps > 0,
+                "scope derivation requires at least one traced warp");
+  G80_CHECK(total_blocks > 0);
+
+  KernelScope out;
+  const int num_sms = spec.num_sms;
+  out.sms.resize(static_cast<std::size_t>(num_sms));
+
+  // --- Full-wave quantities per SM, from the aggregate model's terms ---
+  const double nw = static_cast<double>(summary.num_warps);
+  const double N = static_cast<double>(occ.active_warps_per_sm);
+  const int bpw = std::max(1, occ.blocks_per_sm);
+  const WarpTrace& tot = summary.total;
+
+  // Wave schedule: `full` whole waves on every SM, then the remainder
+  // blocks round-robin (SM i takes `tail_blocks(i)`).
+  const std::uint64_t blocks_per_wave =
+      static_cast<std::uint64_t>(bpw) * static_cast<std::uint64_t>(num_sms);
+  const std::uint64_t full = total_blocks / blocks_per_wave;
+  const std::uint64_t rem = total_blocks % blocks_per_wave;
+  const auto tail_blocks = [&](int i) {
+    return rem / static_cast<std::uint64_t>(num_sms) +
+           (static_cast<std::uint64_t>(i) <
+                    rem % static_cast<std::uint64_t>(num_sms)
+                ? 1u
+                : 0u);
+  };
+
+  // Horizon: the schedule's makespan — the busiest SM's finishing time.
+  // Matches timing.kernel_cycles exactly when the grid fills whole waves;
+  // for a remainder wave the aggregate model amortizes the tail
+  // fractionally across SMs while the schedule concentrates it, so the
+  // makespan can differ from kernel_cycles by up to one tail wave.
+  const std::uint64_t max_tail = rem == 0 ? 0 : tail_blocks(0);
+  out.horizon_cycles =
+      (static_cast<double>(full) +
+       static_cast<double>(max_tail) / static_cast<double>(bpw)) *
+      timing.wave_cycles;
+  if (out.horizon_cycles <= 0.0) return out;  // zero-work kernel: no series
+
+  const int nb =
+      std::clamp(cfg.target_buckets, 1, std::max(1, cfg.max_buckets));
+  out.num_buckets = nb;
+  out.bucket_cycles = out.horizon_cycles / nb;
+
+  WaveQuantities wq;
+  wq.duration = timing.wave_cycles;
+  wq.warps = N;
+  const double issue_wave = summary.mean_issue_cycles(spec) * N;
+  wq.serialization =
+      static_cast<double>(tot.shared_extra_passes + tot.const_extra_passes) /
+      nw * spec.warp_issue_cycles() * N;
+  // Same aggregate form as WarpTrace::issue_cycles, so the three issue
+  // components recompose to the model's issue floor exactly.
+  const double extra_txns =
+      std::max(0.0, static_cast<double>(tot.global.transactions) -
+                        2.0 * static_cast<double>(tot.global_instructions));
+  wq.uncoalesced =
+      extra_txns / nw * spec.uncoalesced_issue_cycles_per_txn * N;
+  wq.pure_issue =
+      std::max(0.0, issue_wave - wq.serialization - wq.uncoalesced);
+  wq.barrier = timing.sync_stall_cycles;
+  wq.mem_stall =
+      std::max(0.0, timing.wave_cycles - issue_wave - timing.sync_stall_cycles);
+  wq.instructions = static_cast<double>(tot.ops.total()) / nw * N;
+  wq.dram_bytes = static_cast<double>(tot.global.bytes) /
+                  static_cast<double>(summary.num_blocks) * bpw;
+
+  const double syncs_per_warp =
+      static_cast<double>(tot.ops[OpClass::kSync]) / nw;
+  int k = static_cast<int>(std::lround(syncs_per_warp));
+  if (wq.barrier > 0.0 && k < 1) k = 1;
+  wq.barrier_intervals = std::clamp(k, 1, 64);
+
+  for (int i = 0; i < num_sms; ++i) {
+    SmSeries& sm = out.sms[static_cast<std::size_t>(i)];
+    sm.active_warps.assign(nb, 0.0);
+    sm.occupancy.assign(nb, 0.0);
+    sm.issue_cycles.assign(nb, 0.0);
+    sm.serialization_cycles.assign(nb, 0.0);
+    sm.uncoalesced_cycles.assign(nb, 0.0);
+    sm.mem_stall_cycles.assign(nb, 0.0);
+    sm.barrier_cycles.assign(nb, 0.0);
+    sm.instructions.assign(nb, 0.0);
+    sm.dram_bytes.assign(nb, 0.0);
+
+    for (std::uint64_t w = 0; w < full; ++w) {
+      deposit_wave(sm, out.bucket_cycles,
+                   static_cast<double>(w) * wq.duration, 1.0, wq);
+    }
+    const std::uint64_t tail = tail_blocks(i);
+    if (tail > 0) {
+      deposit_wave(sm, out.bucket_cycles,
+                   static_cast<double>(full) * wq.duration,
+                   static_cast<double>(tail) / bpw, wq);
+    }
+
+    const double max_warps = static_cast<double>(spec.max_warps_per_sm());
+    for (int b = 0; b < nb; ++b) {
+      sm.active_warps[b] /= out.bucket_cycles;
+      sm.occupancy[b] = max_warps > 0 ? sm.active_warps[b] / max_warps : 0.0;
+    }
+  }
+
+  // --- Device DRAM track and utilization against the bandwidth ceiling ---
+  out.device_dram_bytes.assign(nb, 0.0);
+  out.dram_utilization.assign(nb, 0.0);
+  for (const SmSeries& sm : out.sms) {
+    for (int b = 0; b < nb; ++b) out.device_dram_bytes[b] += sm.dram_bytes[b];
+  }
+  const double ceiling = out.bucket_cycles * spec.dram_bytes_per_cycle();
+  for (int b = 0; b < nb; ++b) {
+    out.dram_utilization[b] = ceiling > 0 ? out.device_dram_bytes[b] / ceiling
+                                          : 0.0;
+  }
+
+  // --- Launch totals (what the buckets must sum back to) ---
+  // Every SM-wave contributes its scale; the scales sum to
+  // total_blocks / blocks_per_sm across the device.
+  const double sm_waves =
+      static_cast<double>(total_blocks) / static_cast<double>(bpw);
+  out.totals.issue_cycles = wq.pure_issue * sm_waves;
+  out.totals.serialization_cycles = wq.serialization * sm_waves;
+  out.totals.uncoalesced_cycles = wq.uncoalesced * sm_waves;
+  out.totals.mem_stall_cycles = wq.mem_stall * sm_waves;
+  out.totals.barrier_cycles = wq.barrier * sm_waves;
+  out.totals.instructions = wq.instructions * sm_waves;
+  out.totals.dram_bytes = wq.dram_bytes * sm_waves;
+
+  // --- Per-source-line stall attribution ---
+  // Each stall category's launch total splits across the recorded call
+  // sites proportionally to the site's share of the cause; shares sum to
+  // one, so the site table reconciles with the series totals exactly.
+  std::uint64_t d_unc = 0, d_ser = 0, d_bar = 0, d_mem = 0;
+  for (const SiteStats& s : summary.sites) {
+    d_unc += s.extra_transactions;
+    d_ser += s.shared_extra_passes + s.const_extra_passes;
+    d_bar += s.syncs;
+    d_mem += s.global_transactions;
+  }
+  out.sites.reserve(summary.sites.size());
+  for (const SiteStats& s : summary.sites) {
+    SiteAttribution a;
+    a.file = s.file;
+    a.line = s.line;
+    a.site = s.site;
+    a.global_instructions = s.global_instructions;
+    a.syncs = s.syncs;
+    if (d_unc > 0) {
+      a.uncoalesced_cycles = out.totals.uncoalesced_cycles *
+                             static_cast<double>(s.extra_transactions) /
+                             static_cast<double>(d_unc);
+    }
+    if (d_ser > 0) {
+      a.serialization_cycles =
+          out.totals.serialization_cycles *
+          static_cast<double>(s.shared_extra_passes + s.const_extra_passes) /
+          static_cast<double>(d_ser);
+    }
+    if (d_bar > 0) {
+      a.barrier_cycles = out.totals.barrier_cycles *
+                         static_cast<double>(s.syncs) /
+                         static_cast<double>(d_bar);
+    }
+    if (d_mem > 0) {
+      a.mem_stall_cycles = out.totals.mem_stall_cycles *
+                           static_cast<double>(s.global_transactions) /
+                           static_cast<double>(d_mem);
+    }
+    out.sites.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace g80::scope

@@ -1,0 +1,124 @@
+#include "scope/scope_json.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/json.h"
+#include "common/provenance.h"
+
+namespace g80::scope {
+
+namespace {
+
+void write_series(JsonWriter& w, const char* key,
+                  const std::vector<double>& v) {
+  w.key(key).begin_array();
+  for (double x : v) w.value(x);
+  w.end_array();
+}
+
+}  // namespace
+
+std::string scope_json(const Session& session, const DeviceSpec& spec) {
+  JsonWriter w;
+  w.begin_object();
+  Provenance p = build_provenance("g80scope-series");
+  p.device = spec.name;
+  p.device_spec_hash = device_spec_hash(spec);
+  write_provenance(w, p);
+
+  w.key("launches").begin_array();
+  for (const LaunchRecord& rec : session.launches()) {
+    const KernelScope& sc = rec.scope;
+    w.begin_object()
+        .kv("id", rec.id)
+        .kv("kernel", rec.kernel_name)
+        .kv("stream", rec.stream)
+        .kv("horizon_cycles", sc.horizon_cycles)
+        .kv("bucket_cycles", sc.bucket_cycles)
+        .kv("num_buckets", sc.num_buckets);
+
+    w.key("totals")
+        .begin_object()
+        .kv("issue_cycles", sc.totals.issue_cycles)
+        .kv("serialization_cycles", sc.totals.serialization_cycles)
+        .kv("uncoalesced_cycles", sc.totals.uncoalesced_cycles)
+        .kv("mem_stall_cycles", sc.totals.mem_stall_cycles)
+        .kv("barrier_cycles", sc.totals.barrier_cycles)
+        .kv("instructions", sc.totals.instructions)
+        .kv("dram_bytes", sc.totals.dram_bytes)
+        .end_object();
+
+    w.key("sms").begin_array();
+    for (std::size_t i = 0; i < sc.sms.size(); ++i) {
+      const SmSeries& sm = sc.sms[i];
+      w.begin_object().kv("sm", static_cast<std::uint64_t>(i));
+      write_series(w, "active_warps", sm.active_warps);
+      write_series(w, "occupancy", sm.occupancy);
+      write_series(w, "issue_cycles", sm.issue_cycles);
+      write_series(w, "serialization_cycles", sm.serialization_cycles);
+      write_series(w, "uncoalesced_cycles", sm.uncoalesced_cycles);
+      write_series(w, "mem_stall_cycles", sm.mem_stall_cycles);
+      write_series(w, "barrier_cycles", sm.barrier_cycles);
+      write_series(w, "instructions", sm.instructions);
+      write_series(w, "dram_bytes", sm.dram_bytes);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("device").begin_object();
+    write_series(w, "dram_bytes", sc.device_dram_bytes);
+    write_series(w, "dram_utilization", sc.dram_utilization);
+    w.end_object();
+
+    w.key("sites").begin_array();
+    for (const SiteAttribution& a : sc.sites) {
+      w.begin_object()
+          .kv("file", a.file)
+          .kv("line", static_cast<std::uint64_t>(a.line))
+          .kv("uncoalesced_cycles", a.uncoalesced_cycles)
+          .kv("serialization_cycles", a.serialization_cycles)
+          .kv("barrier_cycles", a.barrier_cycles)
+          .kv("mem_stall_cycles", a.mem_stall_cycles)
+          .kv("total_cycles", a.total_cycles())
+          .kv("global_instructions", a.global_instructions)
+          .kv("syncs", a.syncs)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+std::string scope_csv(const Session& session) {
+  std::string out =
+      "launch_id,kernel,stream,sm,bucket,t0_cycles,active_warps,occupancy,"
+      "issue_cycles,serialization_cycles,uncoalesced_cycles,mem_stall_cycles,"
+      "barrier_cycles,instructions,dram_bytes\n";
+  char buf[256];
+  for (const LaunchRecord& rec : session.launches()) {
+    const KernelScope& sc = rec.scope;
+    for (std::size_t i = 0; i < sc.sms.size(); ++i) {
+      const SmSeries& sm = sc.sms[i];
+      for (int b = 0; b < sc.num_buckets; ++b) {
+        std::snprintf(buf, sizeof buf,
+                      "%llu,%s,%llu,%zu,%d,%.12g,%.12g,%.12g,%.12g,%.12g,"
+                      "%.12g,%.12g,%.12g,%.12g,%.12g\n",
+                      static_cast<unsigned long long>(rec.id),
+                      rec.kernel_name.c_str(),
+                      static_cast<unsigned long long>(rec.stream), i, b,
+                      sc.bucket_start_cycles(b), sm.active_warps[b],
+                      sm.occupancy[b], sm.issue_cycles[b],
+                      sm.serialization_cycles[b], sm.uncoalesced_cycles[b],
+                      sm.mem_stall_cycles[b], sm.barrier_cycles[b],
+                      sm.instructions[b], sm.dram_bytes[b]);
+        out += buf;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace g80::scope

@@ -1,0 +1,17 @@
+// Machine-readable exports of a g80scope session: a JSON document (schema
+// "g80scope-series", provenance-stamped like every artifact the repo
+// writes) and a flat CSV with one row per (launch, SM, bucket) for quick
+// plotting.  docs/profiling.md documents both layouts.
+#pragma once
+
+#include <string>
+
+#include "hw/device_spec.h"
+#include "scope/session.h"
+
+namespace g80::scope {
+
+std::string scope_json(const Session& session, const DeviceSpec& spec);
+std::string scope_csv(const Session& session);
+
+}  // namespace g80::scope

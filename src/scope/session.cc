@@ -1,0 +1,54 @@
+#include "scope/session.h"
+
+#include <utility>
+
+#include "cudalite/launch.h"
+
+namespace g80::scope {
+
+std::uint64_t Session::record(std::string kernel_name, std::uint64_t stream,
+                              KernelScope scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LaunchRecord r;
+  const std::uint64_t id = next_id_++;
+  r.id = id;
+  r.kernel_name = std::move(kernel_name);
+  r.stream = stream;
+  r.scope = std::move(scope);
+  launches_.push_back(std::move(r));
+  return id;
+}
+
+std::vector<LaunchRecord> Session::launches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return launches_;
+}
+
+std::uint64_t Session::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return launches_.size();
+}
+
+void Session::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  launches_.clear();
+}
+
+namespace detail {
+
+// Out-of-line bridge called from the launch template (cudalite/launch.h
+// forward-declares it), keeping cudalite free of scope headers — the same
+// pattern as prof::detail::record_launch.
+std::uint64_t record_launch(Session& sink, const std::string& kernel_name,
+                            std::uint64_t stream, const DeviceSpec& spec,
+                            const LaunchStats& stats) {
+  KernelScope scope =
+      derive_scope(spec, stats.occupancy, stats.grid.count(), stats.trace,
+                   stats.timing, sink.config());
+  return sink.record(kernel_name.empty() ? "kernel" : kernel_name, stream,
+                     std::move(scope));
+}
+
+}  // namespace detail
+
+}  // namespace g80::scope

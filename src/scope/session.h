@@ -1,0 +1,56 @@
+// Session sink for g80scope, mirroring prof::Profiler's contract: attach
+// one to launches via `LaunchOptions::scope.sink` (or to a g80rt runtime
+// via `RuntimeOptions::scope`) and it accumulates one derived KernelScope
+// per launch.  Recording happens after the launch's passes complete, from
+// statistics the trace pass produced anyway, so kernel outputs and
+// LaunchStats are bit-identical with a scope attached or not
+// (bench/scope_overhead.cc asserts this).
+//
+// Each record gets a session-unique id; launches routed through g80rt stamp
+// that id on their timeline span (TimelineSpan::scope_id), which is how the
+// Chrome-trace exporter (scope/chrome_counters.h) aligns counter tracks
+// under the right kernel slice.
+//
+// Thread safety: g80rt streams record concurrently from their host threads;
+// all mutation is mutex-guarded.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scope/scope.h"
+
+namespace g80::scope {
+
+struct LaunchRecord {
+  std::uint64_t id = 0;  // session-unique; stamped on timeline spans
+  std::string kernel_name;
+  std::uint64_t stream = 0;
+  KernelScope scope;
+};
+
+class Session {
+ public:
+  explicit Session(BucketConfig cfg = {}) : cfg_(cfg) {}
+
+  // Appends a record and returns its id.
+  std::uint64_t record(std::string kernel_name, std::uint64_t stream,
+                       KernelScope scope);
+
+  // Records in arrival order (copy; the session keeps accepting records).
+  std::vector<LaunchRecord> launches() const;
+  std::uint64_t size() const;
+  const BucketConfig& config() const { return cfg_; }
+
+  void clear();
+
+ private:
+  BucketConfig cfg_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 0;
+  std::vector<LaunchRecord> launches_;
+};
+
+}  // namespace g80::scope

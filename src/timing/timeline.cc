@@ -18,7 +18,8 @@ std::string_view engine_name(TimelineEngine e) {
 const TimelineSpan& Timeline::schedule(std::uint64_t stream,
                                        TimelineEngine engine,
                                        double duration_s, std::string label,
-                                       std::vector<TimelineBlockSpan> blocks) {
+                                       std::vector<TimelineBlockSpan> blocks,
+                                       std::uint64_t scope_id) {
   G80_CHECK_MSG(duration_s >= 0, "negative op duration");
   auto it = std::find_if(stream_cursors_.begin(), stream_cursors_.end(),
                          [&](const auto& p) { return p.first == stream; });
@@ -42,6 +43,7 @@ const TimelineSpan& Timeline::schedule(std::uint64_t stream,
   span.start_s = start;
   span.end_s = start + duration_s;
   span.label = std::move(label);
+  span.scope_id = scope_id;
   for (auto& b : blocks) {
     b.start_s += start;
     b.end_s += start;

@@ -40,6 +40,9 @@ struct TimelineBlockSpan {
   double end_s = 0;    // once stored in the committed TimelineSpan
 };
 
+// Sentinel for spans with no associated g80scope record.
+inline constexpr std::uint64_t kNoScopeId = ~std::uint64_t{0};
+
 struct TimelineSpan {
   std::uint64_t seq = 0;     // global issue order
   std::uint64_t stream = 0;  // issuing stream id
@@ -48,6 +51,10 @@ struct TimelineSpan {
   double end_s = 0;
   std::string label;
   std::vector<TimelineBlockSpan> blocks;  // empty for non-kernel ops
+  // g80scope record id for kernel spans launched with a scope session
+  // attached (kNoScopeId otherwise); lets the Chrome-trace exporter align
+  // the launch's counter tracks under this slice.
+  std::uint64_t scope_id = kNoScopeId;
 
   double duration_s() const { return end_s - start_s; }
 };
@@ -57,9 +64,11 @@ class Timeline {
   // Schedule the next op in issue order; returns the committed span.
   // `blocks` (optional) carries per-wave block spans with times relative to
   // the op's start; they are shifted to absolute time on commit.
+  // `scope_id` tags kernel spans with their g80scope record, if any.
   const TimelineSpan& schedule(std::uint64_t stream, TimelineEngine engine,
                                double duration_s, std::string label,
-                               std::vector<TimelineBlockSpan> blocks = {});
+                               std::vector<TimelineBlockSpan> blocks = {},
+                               std::uint64_t scope_id = kNoScopeId);
 
   const std::vector<TimelineSpan>& spans() const { return spans_; }
 

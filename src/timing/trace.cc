@@ -1,10 +1,52 @@
 #include "timing/trace.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.h"
 
 namespace g80 {
+
+SiteStats& SiteStats::operator+=(const SiteStats& o) {
+  global_instructions += o.global_instructions;
+  global_transactions += o.global_transactions;
+  uncoalesced_instructions += o.uncoalesced_instructions;
+  extra_transactions += o.extra_transactions;
+  dram_bytes += o.dram_bytes;
+  shared_extra_passes += o.shared_extra_passes;
+  const_extra_passes += o.const_extra_passes;
+  texture_misses += o.texture_misses;
+  syncs += o.syncs;
+  return *this;
+}
+
+namespace {
+
+// Deterministic ordering: source position first (stable across runs), the
+// site hash only as a same-line tiebreak (distinct columns on one line).
+bool site_before(const SiteStats& a, const SiteStats& b) {
+  const int c = std::strcmp(a.file, b.file);
+  if (c != 0) return c < 0;
+  if (a.line != b.line) return a.line < b.line;
+  return a.site < b.site;
+}
+
+}  // namespace
+
+void merge_site_stats(std::vector<SiteStats>& dst,
+                      const std::vector<SiteStats>& src) {
+  for (const SiteStats& s : src) {
+    auto it = std::find_if(dst.begin(), dst.end(), [&](const SiteStats& d) {
+      return d.site == s.site;
+    });
+    if (it == dst.end()) {
+      dst.push_back(s);
+    } else {
+      *it += s;
+    }
+  }
+  std::sort(dst.begin(), dst.end(), site_before);
+}
 
 WarpTrace& WarpTrace::operator+=(const WarpTrace& o) {
   ops += o.ops;
@@ -54,6 +96,7 @@ TraceSummary TraceSummary::summarize(const std::vector<BlockTrace>& blocks) {
   for (const auto& b : blocks) {
     s.num_warps += b.warps.size();
     s.total += b.aggregate();
+    merge_site_stats(s.sites, b.sites);
   }
   return s;
 }

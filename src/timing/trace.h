@@ -17,6 +17,34 @@
 
 namespace g80 {
 
+// Per-call-site statistics accumulated over a block's warps (g80scope's
+// stall-attribution input).  `site` is the recorder's call-site hash — stable
+// within a run but derived from string addresses, so cross-run artifacts key
+// on (file, line) instead.  `file` points at the static string
+// std::source_location hands out; it outlives every trace.
+struct SiteStats {
+  std::uint32_t site = 0;
+  const char* file = "";
+  std::uint32_t line = 0;
+  // Warp-level counts at this site.
+  std::uint64_t global_instructions = 0;
+  std::uint64_t global_transactions = 0;
+  std::uint64_t uncoalesced_instructions = 0;
+  std::uint64_t extra_transactions = 0;  // beyond a coalesced access's two
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t shared_extra_passes = 0;  // bank-conflict replays
+  std::uint64_t const_extra_passes = 0;   // constant-cache replays
+  std::uint64_t texture_misses = 0;
+  std::uint64_t syncs = 0;  // warp-level bar.sync count
+
+  SiteStats& operator+=(const SiteStats& o);  // counts only, not identity
+};
+
+// Merge `src` entries into `dst` by site id, keeping deterministic
+// (file, line, site) ordering regardless of input order.
+void merge_site_stats(std::vector<SiteStats>& dst,
+                      const std::vector<SiteStats>& src);
+
 struct WarpTrace {
   OpCounts ops;                        // warp-level instruction counts
   double lane_flops = 0;               // per-lane flops summed over lanes
@@ -47,6 +75,8 @@ struct WarpTrace {
 
 struct BlockTrace {
   std::vector<WarpTrace> warps;
+  // Per-call-site attribution, ordered by (file, line, site).
+  std::vector<SiteStats> sites;
 
   WarpTrace aggregate() const;
 };
@@ -56,6 +86,9 @@ struct TraceSummary {
   WarpTrace total;        // summed over all traced warps
   std::size_t num_warps = 0;
   std::size_t num_blocks = 0;
+  // Per-call-site totals merged across blocks in sample order, so the result
+  // is bit-identical whether blocks were traced sequentially or by a pool.
+  std::vector<SiteStats> sites;
 
   static TraceSummary summarize(const std::vector<BlockTrace>& blocks);
 

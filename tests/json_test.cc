@@ -1,0 +1,107 @@
+// JsonWriter edge cases: escaping, non-finite doubles, empty containers,
+// nesting discipline.  Every machine-readable artifact in the repo (g80prof
+// JSON, Chrome traces, g80scope series, bench results) rides on this writer,
+// so its corner behaviour is contract, not implementation detail.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace g80 {
+namespace {
+
+TEST(JsonEscape, ControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("cr\rlf"), "cr\\rlf");
+}
+
+TEST(JsonEscape, EmbeddedControlBytesAreUnicodeEscaped) {
+  // Control bytes below 0x20 without a shorthand must become \u00XX, not
+  // leak through raw (raw control bytes make the document unparseable).
+  // (Split literal: "\x01b" would parse as the single hex escape 0x1b.)
+  const std::string s = json_escape(std::string("a\x01" "b"));
+  EXPECT_EQ(s, "a\\u0001b");
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.begin_object().end_object();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.begin_array().end_array();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rows");
+  w.begin_array();
+  w.begin_object().kv("n", 1).end_object();
+  w.begin_object().kv("n", 2).end_object();
+  w.end_array();
+  w.key("empty");
+  w.begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[{"n":1},{"n":2}],"empty":[]})");
+}
+
+TEST(JsonWriter, NonFiniteDoublesRenderNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("nan", std::numeric_limits<double>::quiet_NaN());
+  w.kv("inf", std::numeric_limits<double>::infinity());
+  w.kv("ninf", -std::numeric_limits<double>::infinity());
+  w.kv("finite", 1.5);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"nan":null,"inf":null,"ninf":null,"finite":1.5})");
+}
+
+TEST(JsonWriter, StringValuesAreEscaped) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("k\"1", std::string_view("v\n2"));
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\\\"1\":\"v\\n2\"}");
+}
+
+TEST(JsonWriter, MisnestingThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), Error);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), Error);  // key outside an object
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), Error);  // two keys in a row
+  }
+}
+
+TEST(JsonWriter, TopLevelScalarAndCompletionCheck) {
+  JsonWriter w;
+  w.begin_object();
+  // Unbalanced document: str() must refuse rather than emit garbage.
+  EXPECT_THROW(w.str(), Error);
+}
+
+}  // namespace
+}  // namespace g80

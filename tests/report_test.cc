@@ -52,5 +52,42 @@ TEST_F(ReportFixture, ReportReflectsBottleneck) {
   EXPECT_NE(r.find("global memory bandwidth"), std::string::npos);
 }
 
+TEST(ReportEdge, ZeroLaunchProfilerSessionIsCleanAndStamped) {
+  // A session with no launches must render without NaN/inf artifacts, and
+  // the JSON form still carries the provenance header.
+  Device dev;
+  prof::Profiler profiler;
+  const std::string rep = profile_report(dev.spec(), profiler);
+  EXPECT_NE(rep.find("0 launch(es)"), std::string::npos);
+  EXPECT_EQ(rep.find("nan"), std::string::npos);
+  EXPECT_EQ(rep.find("inf"), std::string::npos);
+
+  const std::string js = profile_json(dev.spec(), profiler);
+  EXPECT_NE(js.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(js.find("\"schema\":\"g80prof-profile\""), std::string::npos);
+  EXPECT_NE(js.find("\"device_spec_hash\":\"0x"), std::string::npos);
+  EXPECT_NE(js.find("\"kernels\":[]"), std::string::npos);
+  // Value-position token, not bare "nan" ("provenance" contains it).
+  EXPECT_EQ(js.find(":nan"), std::string::npos);
+}
+
+TEST(ReportEdge, EmptyTraceLaunchReportDoesNotDivideByZero) {
+  // A default LaunchStats has zero traced warps; the report must degrade
+  // gracefully instead of tripping the per-warp-mean divide guards.
+  Device dev;
+  const LaunchStats empty{};
+  const std::string r = launch_report(dev.spec(), empty);
+  EXPECT_NE(r.find("no warps traced"), std::string::npos);
+  EXPECT_EQ(r.find("nan"), std::string::npos);
+}
+
+TEST(ReportEdge, ScopeReportAppearsInHeaderDocs) {
+  // scope_report over an empty session stays total-free but well formed.
+  Device dev;
+  scope::Session session;
+  const std::string r = scope_report(dev.spec(), session);
+  EXPECT_NE(r.find("g80scope session: 0 launch(es)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace g80

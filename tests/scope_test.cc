@@ -1,0 +1,231 @@
+// g80scope conservation and integration tests.
+//
+// The scope's defining property is that it invents nothing: every bucket
+// series is a re-expansion of the aggregate timing model, so summing buckets
+// over SMs must reproduce the launch totals, the totals must agree with
+// g80prof's extrapolated counters and the timing model's DRAM byte count,
+// and the per-line attribution table must reconcile with the same totals.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "apps/matmul/matmul.h"
+#include "core/advisor.h"
+#include "core/report.h"
+#include "cudalite/device.h"
+#include "prof/counters.h"
+#include "scope/chrome_counters.h"
+#include "scope/scope_json.h"
+#include "scope/session.h"
+#include "timing/timeline.h"
+
+namespace g80 {
+namespace {
+
+using apps::MatmulVariant;
+using apps::run_matmul;
+
+double sum(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s;
+}
+
+// Relative error with an absolute floor of 1 (cycle counts are large).
+double rel(double got, double want) {
+  return std::abs(got - want) / std::max(1.0, std::abs(want));
+}
+
+struct ScopeFixture : public ::testing::Test {
+  ScopeFixture()
+      : da(dev.alloc<float>(n * n)), db(dev.alloc<float>(n * n)),
+        dc(dev.alloc<float>(n * n)),
+        stats(run_matmul(dev, {MatmulVariant::kTiledUnrolled, 16},
+                         static_cast<int>(n), da, db, dc, false, nullptr,
+                         &session)) {}
+
+  Device dev;
+  scope::Session session;
+  static constexpr std::size_t n = 1024;
+  DeviceBuffer<float> da, db, dc;
+  LaunchStats stats;
+};
+
+TEST_F(ScopeFixture, BucketSeriesConserveLaunchTotals) {
+  ASSERT_EQ(session.size(), 1u);
+  const auto launches = session.launches();  // launches() returns a copy
+  const scope::KernelScope& sc = launches.front().scope;
+  const scope::ScopeTotals& tot = sc.totals;
+  ASSERT_GT(sc.num_buckets, 0);
+  ASSERT_EQ(sc.sms.size(), static_cast<std::size_t>(dev.spec().num_sms));
+
+  double issue = 0, ser = 0, unc = 0, mem = 0, bar = 0, ins = 0, dram = 0;
+  for (const auto& sm : sc.sms) {
+    issue += sum(sm.issue_cycles);
+    ser += sum(sm.serialization_cycles);
+    unc += sum(sm.uncoalesced_cycles);
+    mem += sum(sm.mem_stall_cycles);
+    bar += sum(sm.barrier_cycles);
+    ins += sum(sm.instructions);
+    dram += sum(sm.dram_bytes);
+  }
+  EXPECT_LT(rel(issue, tot.issue_cycles), 1e-9);
+  EXPECT_LT(rel(ser, tot.serialization_cycles), 1e-9);
+  EXPECT_LT(rel(unc, tot.uncoalesced_cycles), 1e-9);
+  EXPECT_LT(rel(mem, tot.mem_stall_cycles), 1e-9);
+  EXPECT_LT(rel(bar, tot.barrier_cycles), 1e-9);
+  EXPECT_LT(rel(ins, tot.instructions), 1e-9);
+  EXPECT_LT(rel(dram, tot.dram_bytes), 1e-9);
+  EXPECT_LT(rel(sum(sc.device_dram_bytes), tot.dram_bytes), 1e-9);
+}
+
+TEST_F(ScopeFixture, TotalsAgreeWithProfCountersAndTimingModel) {
+  const auto launches = session.launches();
+  const scope::ScopeTotals& tot = launches.front().scope.totals;
+  const prof::KernelCounters c = prof::derive_counters(dev.spec(), stats);
+  EXPECT_LT(rel(tot.instructions,
+                static_cast<double>(c.instructions) * c.grid_scale()),
+            1e-9);
+  EXPECT_LT(rel(tot.dram_bytes,
+                static_cast<double>(c.dram_bytes) * c.grid_scale()),
+            1e-9);
+  EXPECT_LT(rel(tot.dram_bytes, stats.timing.total_dram_bytes), 1e-9);
+}
+
+TEST_F(ScopeFixture, SiteTableReconcilesWithTotals) {
+  const auto launches = session.launches();
+  const scope::KernelScope& sc = launches.front().scope;
+  ASSERT_FALSE(sc.sites.empty());
+  double unc = 0, ser = 0, bar = 0, mem = 0;
+  for (const auto& s : sc.sites) {
+    unc += s.uncoalesced_cycles;
+    ser += s.serialization_cycles;
+    bar += s.barrier_cycles;
+    mem += s.mem_stall_cycles;
+  }
+  EXPECT_LT(rel(unc, sc.totals.uncoalesced_cycles), 1e-9);
+  EXPECT_LT(rel(ser, sc.totals.serialization_cycles), 1e-9);
+  EXPECT_LT(rel(bar, sc.totals.barrier_cycles), 1e-9);
+  EXPECT_LT(rel(mem, sc.totals.mem_stall_cycles), 1e-9);
+  // Every site carries a real source position from the recorder.
+  for (const auto& s : sc.sites) {
+    EXPECT_FALSE(s.file.empty());
+    EXPECT_GT(s.line, 0u);
+  }
+}
+
+TEST_F(ScopeFixture, OccupancyMatchesModelDuringFullWaves) {
+  const auto launches = session.launches();
+  const scope::KernelScope& sc = launches.front().scope;
+  const double expected =
+      static_cast<double>(stats.occupancy.active_warps_per_sm) /
+      (dev.spec().max_threads_per_sm / dev.spec().warp_size);
+  // The first bucket lies inside the first full wave on every SM.
+  for (const auto& sm : sc.sms) {
+    ASSERT_FALSE(sm.occupancy.empty());
+    EXPECT_NEAR(sm.occupancy.front(), expected, 1e-9);
+  }
+}
+
+TEST_F(ScopeFixture, DerivationIsDeterministic) {
+  const scope::KernelScope a =
+      scope::derive_scope(dev.spec(), stats.occupancy, stats.grid.count(),
+                          stats.trace, stats.timing);
+  const scope::KernelScope b =
+      scope::derive_scope(dev.spec(), stats.occupancy, stats.grid.count(),
+                          stats.trace, stats.timing);
+  ASSERT_EQ(a.num_buckets, b.num_buckets);
+  ASSERT_EQ(a.sms.size(), b.sms.size());
+  for (std::size_t i = 0; i < a.sms.size(); ++i) {
+    EXPECT_EQ(a.sms[i].issue_cycles, b.sms[i].issue_cycles);
+    EXPECT_EQ(a.sms[i].mem_stall_cycles, b.sms[i].mem_stall_cycles);
+    EXPECT_EQ(a.sms[i].dram_bytes, b.sms[i].dram_bytes);
+  }
+}
+
+TEST_F(ScopeFixture, DramUtilizationIsBoundedByCeiling) {
+  const auto launches = session.launches();
+  const scope::KernelScope& sc = launches.front().scope;
+  ASSERT_FALSE(sc.dram_utilization.empty());
+  double peak = 0;
+  for (double u : sc.dram_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-9);
+    peak = std::max(peak, u);
+  }
+  EXPECT_GT(peak, 0.0);  // the kernel does move DRAM traffic
+}
+
+TEST_F(ScopeFixture, ScopeReportListsCostliestLines) {
+  const std::string r = scope_report(dev.spec(), session);
+  EXPECT_NE(r.find("g80scope session"), std::string::npos);
+  EXPECT_NE(r.find("costliest lines"), std::string::npos);
+  // The table cites the matmul kernel's source file.
+  EXPECT_NE(r.find("matmul"), std::string::npos);
+}
+
+TEST_F(ScopeFixture, AdvisorCitesHotLines) {
+  // The naive kernel triggers coalescing/bandwidth advice; with a scope it
+  // must point at a concrete source line.
+  scope::Session naive_scope;
+  const auto naive =
+      run_matmul(dev, {MatmulVariant::kNaive, 16}, static_cast<int>(n), da,
+                 db, dc, false, nullptr, &naive_scope);
+  ASSERT_EQ(naive_scope.size(), 1u);
+  const auto advice =
+      advise(dev.spec(), naive, naive_scope.launches().front().scope);
+  ASSERT_FALSE(advice.empty());
+  bool cited = false;
+  for (const auto& a : advice) {
+    if (a.message.find("[hot line: ") != std::string::npos) cited = true;
+  }
+  EXPECT_TRUE(cited);
+}
+
+TEST_F(ScopeFixture, JsonAndCsvExportsAreWellFormed) {
+  const std::string js = scope_json(session, dev.spec());
+  EXPECT_NE(js.find("\"schema\":\"g80scope-series\""), std::string::npos);
+  EXPECT_NE(js.find("\"device_spec_hash\""), std::string::npos);
+  EXPECT_NE(js.find("\"sites\""), std::string::npos);
+
+  const std::string csv = scope_csv(session);
+  EXPECT_NE(csv.find("launch_id,kernel,stream,sm,bucket"), std::string::npos);
+  // Header plus at least one row per SM.
+  const auto rows = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_GT(rows, dev.spec().num_sms);
+}
+
+TEST_F(ScopeFixture, ChromeTraceCarriesCounterTracks) {
+  // Stamp a compute span with the launch's scope id, as g80rt does, and the
+  // exporter must emit per-SM counter tracks aligned under it.
+  Timeline tl;
+  const auto rec = session.launches().front();
+  tl.schedule(/*stream=*/0, TimelineEngine::kCompute,
+              rec.scope.horizon_seconds(dev.spec()), "matmul", {}, rec.id);
+  const std::string trace =
+      scope::chrome_trace_with_counters(tl, session, dev.spec());
+  EXPECT_NE(trace.find("SM00 stalls"), std::string::npos);
+  EXPECT_NE(trace.find("SM00 occupancy"), std::string::npos);
+  EXPECT_NE(trace.find("DRAM utilization"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(trace.find("\"provenance\""), std::string::npos);
+}
+
+TEST(ScopeEdge, ZeroLaunchSessionReportsCleanly) {
+  Device dev;
+  scope::Session empty;
+  const std::string r = scope_report(dev.spec(), empty);
+  EXPECT_NE(r.find("0 launch(es)"), std::string::npos);
+  EXPECT_NE(r.find("no attributed stalls"), std::string::npos);
+  const std::string js = scope_json(empty, dev.spec());
+  EXPECT_NE(js.find("\"launches\":[]"), std::string::npos);
+  // No raw non-finite tokens in value position ("provenance" contains "nan").
+  EXPECT_EQ(js.find(":nan"), std::string::npos);
+  EXPECT_EQ(js.find(":inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g80
