@@ -35,6 +35,16 @@ def fail(msg):
 
 def compare_file(name, base, got, rtol):
     errors = 0
+    # A structured failure document (run_benches.sh writes these when a bench
+    # times out or crashes) is always a regression, whatever the baseline
+    # says -- a hung bench must not pass by producing no comparable rows.
+    if got.get("failed") is not None:
+        return fail(f"{name}: bench run failed ({got['failed']})")
+    if base.get("failed") is not None:
+        return fail(
+            f"{name}: baseline is a failure document ({base['failed']}) "
+            "-- regenerate it from a clean run"
+        )
     bp = base.get("provenance", {})
     gp = got.get("provenance", {})
     if bp.get("schema") != gp.get("schema") or bp.get(

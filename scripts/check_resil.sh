@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build and run the g80resil robustness tier: the `robust`-labelled ctest
+# targets (watchdog/retry/reset semantics, the per-application fault-campaign
+# smoke sweep, the fixed-seed invariant fuzzer) plus the *full* fault
+# campaign (bench/resil_campaign), which must pass 100% of its cases.
+#
+# Usage: scripts/check_resil.sh [build-dir]
+#
+# Environment:
+#   G80_FUZZ_ITERS / G80_FUZZ_SEED  widen or re-seed the invariant fuzzer
+#                                   (see tests/invariant_fuzz_test.cc)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)" --target \
+  resil_test resil_campaign_test invariant_fuzz_test resil_campaign
+
+echo "== robust-labelled tests"
+ctest --test-dir "$build" -L robust --output-on-failure -j "$(nproc)"
+
+echo "== full fault campaign (all applications x fault kinds x sweep points)"
+out="$build/check-resil"
+mkdir -p "$out"
+"$build/bench/resil_campaign" --out "$out/BENCH_resil_campaign.json" \
+  | tail -n 3
+
+echo "check_resil: robust tier and full campaign passed"

@@ -9,19 +9,19 @@
 # follows the simulated GPU threads across stack switches instead of
 # reporting phantom races.
 #
-# Only the runtime-concurrency tests run here (ctest -R '^rt_'): they are the
-# ones that exercise the WorkerPool, the stream threads, and the atomic
-# Device counters.  The sequential suite is covered by check_sanitize.sh.
+# Only the runtime-concurrency tests run here (ctest -R '^(rt_|resil_test)'): they are the
+# ones that exercise the WorkerPool, the stream threads, the g80resil
+# watchdog/cancellation machinery, and the atomic Device counters.  The sequential suite is covered by check_sanitize.sh.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-tsan}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Tsan
-cmake --build "$build" -j "$(nproc)" --target rt_stream_test rt_parallel_launch_test
+cmake --build "$build" -j "$(nproc)" --target rt_stream_test rt_parallel_launch_test resil_test
 
 # second_deadlock_stack: show both lock orders on any lock-inversion report.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-second_deadlock_stack=1}"
 
-ctest --test-dir "$build" --output-on-failure -R '^rt_' -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -R '^(rt_|resil_test)' -j "$(nproc)"
 echo "tsan: runtime tests passed"

@@ -6,6 +6,13 @@
 #   build_dir  defaults to ./build   (must already be built)
 #   out_dir    defaults to ./bench-results
 #
+# Each bench runs under a wall-clock timeout (G80_BENCH_TIMEOUT seconds,
+# default 600) so one wedged bench cannot hang the whole sweep.  A bench that
+# times out or exits non-zero still leaves a structured result file — a
+# g80bench-result document with a top-level "failed" field and no result
+# rows — which scripts/check_bench_regression.py reports as a regression, so
+# a hung bench can never silently pass a baseline comparison.
+#
 # Exits non-zero if any bench fails or produces no result file.  Compare the
 # collected results against the checked-in baselines with:
 #   python3 scripts/check_bench_regression.py bench/baselines bench-results
@@ -14,6 +21,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 out="${2:-$repo/bench-results}"
+timeout_s="${G80_BENCH_TIMEOUT:-600}"
 mkdir -p "$out"
 
 # Benches on the common harness CLI (--out/--json/--seed).  Extend this list
@@ -25,7 +33,14 @@ benches=(
   ablation_bankconflict
   rt_throughput
   scope_overhead
+  resil_campaign
 )
+
+# Writes the structured failure document for bench $1 with reason $2.
+write_failure() {
+  printf '{"provenance":{"schema":"g80bench-result","schema_version":1},"bench":"%s","failed":"%s","results":[]}\n' \
+    "$1" "$2" > "$out/BENCH_$1.json"
+}
 
 fail=0
 for b in "${benches[@]}"; do
@@ -36,13 +51,23 @@ for b in "${benches[@]}"; do
     continue
   fi
   echo "== $b"
-  if ! "$bin" --out "$out/BENCH_$b.json" > "$out/$b.log" 2>&1; then
-    echo "run_benches: $b FAILED (see $out/$b.log)" >&2
+  rc=0
+  timeout --signal=TERM --kill-after=10 "$timeout_s" \
+    "$bin" --out "$out/BENCH_$b.json" > "$out/$b.log" 2>&1 || rc=$?
+  if [ "$rc" -eq 124 ] || [ "$rc" -eq 137 ]; then
+    echo "run_benches: $b TIMED OUT after ${timeout_s}s (see $out/$b.log)" >&2
+    write_failure "$b" "timeout after ${timeout_s}s"
+    fail=1
+    continue
+  elif [ "$rc" -ne 0 ]; then
+    echo "run_benches: $b FAILED with exit $rc (see $out/$b.log)" >&2
+    write_failure "$b" "exit status $rc"
     fail=1
     continue
   fi
   if [ ! -s "$out/BENCH_$b.json" ]; then
     echo "run_benches: $b produced no result file" >&2
+    write_failure "$b" "no result file"
     fail=1
   fi
 done

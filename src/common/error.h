@@ -43,6 +43,9 @@ enum class Status {
   kInvalidDevice,         // event used with a runtime other than its creator's
   kNotReady,              // event elapsed-time queried before both events completed
   kNotPermitted,          // synchronization from inside a stream callback
+  // g80resil recovery semantics (see docs/error-handling.md):
+  kTimeout,               // launch exceeded its watchdog / modeled timeout
+  kRecovered,             // launch succeeded only after resilience retries
 };
 
 inline std::string_view status_name(Status s) {
@@ -61,6 +64,8 @@ inline std::string_view status_name(Status s) {
     case Status::kInvalidDevice: return "invalid device";
     case Status::kNotReady: return "device not ready";
     case Status::kNotPermitted: return "operation not permitted";
+    case Status::kTimeout: return "launch timeout";
+    case Status::kRecovered: return "recovered after retry";
   }
   return "unknown status";
 }

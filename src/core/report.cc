@@ -184,6 +184,20 @@ std::string profile_report(const DeviceSpec& spec,
   }
   os << t.to_string();
 
+  // g80resil recovery provenance: only shown when some launch needed it.
+  std::uint64_t retries = 0, timeouts = 0, recovered = 0, fallbacks = 0;
+  for (const auto& k : kernels) {
+    retries += k.retries;
+    timeouts += k.timeouts;
+    recovered += k.recovered;
+    fallbacks += k.fallback_launches;
+  }
+  if (retries + timeouts + recovered + fallbacks > 0) {
+    os << "\nresilience: " << retries << " retr(ies), " << timeouts
+       << " timeout(s), " << recovered << " recovered launch(es), "
+       << fallbacks << " at a degraded fallback level\n";
+  }
+
   const auto tx = profiler.transfers();
   if (tx.h2d_count + tx.d2h_count > 0) {
     os << "\ntransfers: " << tx.h2d_count << " h2d ("
@@ -331,6 +345,15 @@ std::string profile_json(const DeviceSpec& spec,
     w.kv("blocks_sampled", c.blocks_sampled);
     w.kv("warps_sampled", c.warps_sampled);
     w.kv("grid_scale", c.grid_scale());
+    w.end_object();
+
+    // g80resil recovery provenance, aggregated across this kernel's launches.
+    w.key("resilience");
+    w.begin_object();
+    w.kv("retries", k.retries);
+    w.kv("timeouts", k.timeouts);
+    w.kv("recovered", k.recovered);
+    w.kv("fallback_launches", k.fallback_launches);
     w.end_object();
 
     w.key("instruction_mix");

@@ -71,6 +71,12 @@ class GlobalView {
   }
   void st(std::size_t i, const T& v,
           const std::source_location& loc = std::source_location::current()) {
+    // g80check fault injection may deterministically redirect this store out
+    // of bounds (FaultInjection::corrupt_global_*), modeling a wild device
+    // pointer; compiled out of normal passes.
+    if constexpr (Recorder::kSanitizing) {
+      i = ctx_->rec().fault_global_index(i, n_);
+    }
     G80_RAISE_IF(i >= n_, Status::kInvalidAddress,
                  "global store out of bounds: " << i << " >= " << n_);
     ctx_->rec().mem(OpClass::kStoreGlobal, base_ + i * sizeof(T), sizeof(T),

@@ -6,9 +6,12 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <limits>
+#include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -183,6 +186,62 @@ class Device {
     throw StatusError(s, std::string(status_name(s)) + ": " + msg);
   }
 
+  // --- Recovery semantics (g80resil, cudaDeviceReset-style) ---
+  // Tears the device back down to its post-construction state: runs every
+  // registered reset hook (g80rt registers one that drains its streams and
+  // clears their sticky async errors), clears the sticky Status, resets the
+  // TransferLedger, and releases the whole device address space (allocation
+  // cursor and constant-space budget return to zero).
+  //
+  // Like cudaDeviceReset, this invalidates every outstanding DeviceBuffer /
+  // ConstantBuffer / Texture1D handed out by this device: their backing
+  // storage stays host-side-valid (no dangling memory), but their virtual
+  // device addresses will be reissued to future allocations, so the memory
+  // analyzers would see aliased address ranges.  Callers must re-allocate
+  // and re-upload after a reset — the fault-campaign engine
+  // (resil/campaign.h) demonstrates the full recover-and-relaunch cycle.
+  // `generation()` increments on every reset so long-lived layers can detect
+  // that their cached handles went stale.
+  void reset() {
+    // Hooks run first (stream drain must happen while errors/ledger are
+    // still observable), outside the registry lock so a hook may touch the
+    // device freely.
+    std::vector<std::function<void()>> hooks;
+    {
+      std::lock_guard<std::mutex> lk(hooks_mu_);
+      hooks.reserve(reset_hooks_.size());
+      for (auto& [id, fn] : reset_hooks_) hooks.push_back(fn);
+    }
+    for (auto& fn : hooks) fn();
+    ledger_.reset();
+    next_addr_ = kBaseAddr;
+    constant_used_ = 0;
+    status_.store(Status::kSuccess);
+    generation_.fetch_add(1);
+  }
+
+  // Number of resets performed; buffers allocated under an older generation
+  // are stale after a reset.
+  std::uint64_t generation() const { return generation_.load(); }
+
+  // Registers a callback run at the start of every reset() (e.g. a g80rt
+  // Runtime draining its streams).  Returns an id for remove_reset_hook.
+  std::uint64_t add_reset_hook(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lk(hooks_mu_);
+    const std::uint64_t id = next_hook_id_++;
+    reset_hooks_.emplace_back(id, std::move(hook));
+    return id;
+  }
+  void remove_reset_hook(std::uint64_t id) {
+    std::lock_guard<std::mutex> lk(hooks_mu_);
+    for (auto it = reset_hooks_.begin(); it != reset_hooks_.end(); ++it) {
+      if (it->first == id) {
+        reset_hooks_.erase(it);
+        return;
+      }
+    }
+  }
+
   static constexpr std::uint64_t kConstantSpaceBytes = 64 * 1024;
 
  private:
@@ -222,6 +281,10 @@ class Device {
   std::uint64_t next_addr_ = kBaseAddr;
   std::uint64_t constant_used_ = 0;
   std::atomic<Status> status_{Status::kSuccess};
+  std::atomic<std::uint64_t> generation_{0};
+  std::mutex hooks_mu_;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> reset_hooks_;
+  std::uint64_t next_hook_id_ = 1;
 };
 
 template <class T>

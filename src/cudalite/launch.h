@@ -20,6 +20,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -29,8 +30,11 @@
 #include "cudalite/device.h"
 #include "cudalite/trace_collect.h"
 #include "exec/block_runner.h"
+#include "exec/cancel.h"
 #include "exec/worker_pool.h"
 #include "occupancy/occupancy.h"
+#include "resil/policy.h"
+#include "resil/resilience.h"
 #include "sanitizer/recorder.h"
 #include "sanitizer/sanitizer.h"
 #include "timing/model.h"
@@ -123,6 +127,10 @@ struct LaunchOptions {
   // shared-memory arena) and per-block traces merge in sample order.  The
   // g80check pass stays sequential — its shadow state is grid-global.
   WorkerPool* pool = nullptr;
+  // g80resil: opt-in watchdog timeouts, retry-with-backoff recovery, and
+  // graceful degradation (see resil/policy.h and docs/error-handling.md).
+  // Disabled launches execute exactly the pre-resil path.
+  ResiliencePolicy resilience;
 };
 
 // Ambient default worker pool, consulted when LaunchOptions::pool is null.
@@ -154,6 +162,9 @@ struct LaunchStats {
   KernelTiming timing;
   // Findings from the g80check pass (empty unless sanitize.enabled).
   SanitizerReport sanitizer;
+  // g80resil recovery provenance: how many attempts ran, at what fallback
+  // level, and whether the launch recovered after transient failures.
+  ResilienceStats resilience;
 
   // Device-side execution time of this launch.
   double kernel_seconds() const { return timing.seconds; }
@@ -213,20 +224,43 @@ class RunnerSet {
 // Dispatch body(slot, index) over [0, total): sequential on the caller when
 // no pool is available, block-parallel otherwise.  Either way every index
 // runs exactly once and failures surface as the lowest-index exception.
+// `cancel` (optional) makes the gap between blocks a cancellation point on
+// both paths, so a fired g80resil watchdog preempts the launch without its
+// skipped work being reported as success.
 template <class Body>
-void for_each_block(WorkerPool* pool, std::uint64_t total, const Body& body) {
+void for_each_block(WorkerPool* pool, std::uint64_t total, const Body& body,
+                    const CancelToken* cancel = nullptr) {
   if (pool != nullptr && pool->width() > 1 && total > 1) {
-    pool->parallel_for(total, body);
+    pool->parallel_for(total, body, cancel);
   } else {
-    for (std::uint64_t i = 0; i < total; ++i) body(0, i);
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (cancel != nullptr) cancel->check("sequential block loop");
+      body(0, i);
+    }
   }
 }
 
 }  // namespace detail
 
+namespace detail {
+
+// One attempt of a launch: everything from configuration validation through
+// the functional pass.  `att` carries the g80resil attempt context — the
+// watchdog's cancellation token (threaded into every between-block and
+// barrier-release cancellation point) and the graceful-degradation level:
+//   level 0  exactly the configuration the caller asked for;
+//   level 1  block parallelism abandoned (sequential blocks on the caller,
+//            sidestepping a starved or wedged worker pool);
+//   level 2  additionally a 1-block trace sample and no sanitize pass — the
+//            functional fast path, minimum machinery that still yields
+//            correct kernel outputs.
+// Kernel outputs are bit-identical across levels (block scheduling never
+// changes results — the seed invariant); only trace/timing fidelity and
+// validation coverage degrade.
 template <class Kernel, class... Args>
-LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
-                   const Kernel& kernel, Args&&... args) {
+void launch_impl(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
+                 const AttemptConfig& att, LaunchStats& stats,
+                 const Kernel& kernel, Args&... args) {
   const DeviceSpec& spec = dev.spec();
   const auto threads = static_cast<int>(block.count());
 
@@ -271,13 +305,23 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
   }
 
   // Block scheduling: explicit pool, else the ambient one (g80rt), else the
-  // sequential seed path.  Slot 0 always runs on this thread.
-  WorkerPool* pool = opt.pool != nullptr ? opt.pool : ambient_launch_pool();
+  // sequential seed path.  Slot 0 always runs on this thread.  Fallback
+  // level >= 1 forces the sequential path outright (including past the
+  // ambient pool — falling back *means* not trusting the pool).
+  WorkerPool* pool =
+      att.fallback_level >= 1
+          ? nullptr
+          : (opt.pool != nullptr ? opt.pool : ambient_launch_pool());
+  const int sample_blocks = att.fallback_level >= 2 ? 1 : opt.sample_blocks;
+  const bool sanitize_enabled =
+      att.fallback_level < 2 && opt.sanitize.enabled;
+  const CancelToken* cancel = att.cancel;
   const int slots =
       pool != nullptr && pool->width() > 1 ? pool->width() : 1;
 
   BlockRunner runner(opt.uses_sync ? threads : 1, spec.shared_mem_per_sm,
                      opt.stack_bytes);
+  runner.set_cancel_token(cancel);
   detail::RunnerSet runners(&runner, slots, opt.uses_sync ? threads : 1,
                             spec.shared_mem_per_sm, opt.stack_bytes);
   const auto run_block = [&](BlockRunner& r,
@@ -289,7 +333,6 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
     }
   };
 
-  LaunchStats stats;
   stats.grid = grid;
   stats.block = block;
   stats.regs_per_thread = opt.regs_per_thread;
@@ -303,13 +346,15 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
     // worker finished first, keeping TraceSummary bit-identical to the
     // sequential path.
     const auto samples =
-        detail::pick_sample_blocks(total_blocks, opt.sample_blocks);
+        detail::pick_sample_blocks(total_blocks, sample_blocks);
     std::vector<BlockTrace> traces(samples.size());
     std::vector<std::vector<LaneTrace>> slot_lanes(
         static_cast<std::size_t>(slots));
     detail::for_each_block(
-        pool, samples.size(), [&](int slot, std::uint64_t i) {
+        pool, samples.size(),
+        [&](int slot, std::uint64_t i) {
           BlockRunner& r = runners.at(slot);
+          r.set_cancel_token(cancel);
           auto& lanes = slot_lanes[static_cast<std::size_t>(slot)];
           lanes.resize(static_cast<std::size_t>(threads));
           for (auto& l : lanes) l.clear();
@@ -320,7 +365,8 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
             kernel(ctx, args...);
           });
           traces[i] = collect_block_trace(spec, lanes);
-        });
+        },
+        cancel);
     stats.smem_per_block = runners.smem_bytes_used();
     stats.trace = TraceSummary::summarize(traces);
 
@@ -331,6 +377,21 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
     stats.timing =
         simulate_kernel(spec, stats.occupancy, total_blocks, stats.trace);
 
+    // ---- g80resil modeled watchdog ----
+    // The paper's display-timeout constraint (§5.1) on the simulated clock:
+    // a launch whose modeled device time exceeds the budget is rejected
+    // before the (expensive) sanitize and functional passes run.  This is
+    // deterministic — identical retries fail identically.
+    if (opt.resilience.enabled && opt.resilience.modeled_timeout_s > 0 &&
+        stats.timing.seconds > opt.resilience.modeled_timeout_s) {
+      std::ostringstream os;
+      os << "modeled kernel time " << stats.timing.seconds
+         << " s exceeds the " << opt.resilience.modeled_timeout_s
+         << " s modeled watchdog budget (split the work across launches, "
+            "as the paper's time-sliced simulators do)";
+      dev.raise(Status::kTimeout, os.str());
+    }
+
     // ---- g80check sanitize pass ----
     // Full-grid pass under Ctx<SanitizerRecorder>: shadow memory watches
     // every shared access, the runner reports every barrier release, and
@@ -338,7 +399,7 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
     // the functional pass so an injected corruption cannot leak into
     // results the host reads (blocks are idempotent; the functional pass
     // rewrites every output).
-    if (opt.sanitize.enabled) {
+    if (sanitize_enabled) {
       Sanitizer san(opt.sanitize, spec.shared_mem_per_sm);
       runner.set_barrier_observer(&san);
       for (std::uint64_t b = 0; b < total_blocks; ++b) {
@@ -368,15 +429,18 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
     // bit-identical to sequential execution.
     if (opt.functional) {
       detail::for_each_block(
-          pool, total_blocks, [&](int slot, std::uint64_t b) {
+          pool, total_blocks,
+          [&](int slot, std::uint64_t b) {
             BlockRunner& r = runners.at(slot);
+            r.set_cancel_token(cancel);
             BlockEnv env{&r, grid, block,
                          delinearize(static_cast<unsigned>(b), grid)};
             run_block(r, [&](int tid) {
               FuncCtx ctx(&env, tid, NullRecorder{});
               kernel(ctx, args...);
             });
-          });
+          },
+          cancel);
     }
   } catch (const StatusError& e) {
     dev.record_status(e.status());
@@ -384,21 +448,60 @@ LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
   } catch (const Error&) {
     dev.record_status(Status::kLaunchFailure);
     throw;
+  } catch (const std::exception& e) {
+    // A kernel functor (or anything it called) threw a plain host exception.
+    // Record the sticky status and wrap it as a StatusError so the failure
+    // propagates as a g80::Status on the launching stream instead of
+    // escaping untyped (and, before this clause existed, std::terminate-ing
+    // a g80rt stream thread via an unhandled-exception path).
+    dev.record_status(Status::kLaunchFailure);
+    throw StatusError(Status::kLaunchFailure,
+                      std::string("kernel threw: ") + e.what());
+  } catch (...) {
+    dev.record_status(Status::kLaunchFailure);
+    throw StatusError(Status::kLaunchFailure,
+                      "kernel threw a non-standard exception");
+  }
+}
+
+}  // namespace detail
+
+template <class Kernel, class... Args>
+LaunchStats launch(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
+                   const Kernel& kernel, Args&&... args) {
+  LaunchStats stats;
+  // Every attempt starts from fresh stats (blocks are idempotent, so a
+  // partial failed attempt leaves nothing that needs undoing); the final
+  // attempt's stats — plus the accumulated resilience history — survive.
+  run_resilient(opt.resilience, stats.resilience,
+                [&](const AttemptConfig& att) {
+                  stats = LaunchStats{};
+                  detail::launch_impl(dev, grid, block, opt, att, stats,
+                                      kernel, args...);
+                });
+  // A launch that survived only through retries records the informational
+  // kRecovered sticky status (last-writer-wins, like the CUDA runtime's
+  // error slot), overwriting the transient failures of earlier attempts so
+  // hosts polling get_last_error() see recovery rather than a stale error.
+  if (stats.resilience.recovered) {
+    dev.record_status(Status::kRecovered);
   }
   // ---- g80prof ----
-  // Counter derivation happens here, after every pass completed, from the
-  // trace statistics computed above — the functional path never sees the
-  // profiler.
+  // Counter derivation happens here, after every pass (and every resilience
+  // attempt) completed, from the trace statistics computed above — the
+  // functional path never sees the profiler, and a retried launch records
+  // once, with its recovery provenance attached.
   if (opt.prof.sink != nullptr) {
     prof::detail::record_launch(*opt.prof.sink, opt.prof.kernel_name,
-                                opt.prof.stream, spec, stats);
+                                opt.prof.stream, dev.spec(), stats);
   }
   // ---- g80scope ----
   // Same contract: the time series is derived from the already-computed
   // trace statistics, never measured during a pass.
   if (opt.scope.sink != nullptr) {
-    const std::uint64_t id = scope::detail::record_launch(
-        *opt.scope.sink, opt.prof.kernel_name, opt.prof.stream, spec, stats);
+    const std::uint64_t id =
+        scope::detail::record_launch(*opt.scope.sink, opt.prof.kernel_name,
+                                     opt.prof.stream, dev.spec(), stats);
     if (opt.scope.id_out != nullptr) *opt.scope.id_out = id;
   }
   return stats;

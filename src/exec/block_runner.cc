@@ -64,6 +64,8 @@ void BlockRunner::run_direct(int num_threads,
   shared_.begin_block();
   barriers_executed_ = 0;
   for (int t = 0; t < num_threads; ++t) {
+    // Cancellation point between threads (no barriers exist in this mode).
+    if (cancel_ != nullptr) cancel_->check("direct-mode thread loop");
     shared_.begin_thread(t);
     body(t);
   }
@@ -88,6 +90,11 @@ void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
 
   int live = num_threads;
   while (live > 0) {
+    // Cancellation point (g80resil): the scheduler regains control between
+    // barrier generations, so a fired watchdog preempts even a block whose
+    // threads synchronize forever.  Suspended fibers are abandoned here and
+    // re-armed from scratch on the next run().
+    if (cancel_ != nullptr) cancel_->check("block barrier scheduler");
     // One scheduling pass: advance every thread that is not done and not
     // already parked at the (unreleased) barrier.
     for (int t = 0; t < num_threads; ++t) {

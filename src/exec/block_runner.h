@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "exec/cancel.h"
 #include "exec/fiber.h"
 
 namespace g80 {
@@ -101,6 +102,12 @@ class BlockRunner {
   // Attach/detach a barrier-semantics observer (g80check).  Null detaches.
   void set_barrier_observer(BarrierObserver* obs) { observer_ = obs; }
 
+  // Attach/detach a cooperative cancellation token (g80resil watchdog).
+  // Checked at every barrier release, so a kernel wedged in a
+  // __syncthreads() loop is cancellable; the abandoned fibers are re-armed
+  // by the next run() (see Fiber::start).  Null detaches.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
  private:
   enum class ThreadStatus { kRunning, kAtBarrier, kDone };
 
@@ -113,6 +120,7 @@ class BlockRunner {
   int barriers_executed_ = 0;
   bool direct_mode_ = false;
   BarrierObserver* observer_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace g80

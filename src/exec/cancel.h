@@ -1,0 +1,71 @@
+// Cooperative cancellation for in-flight launches (g80resil).
+//
+// A CancelToken is armed by a watchdog (resil/resilience.h) and observed at
+// the execution layer's natural preemption points: between blocks in
+// WorkerPool::parallel_for and at every barrier release in BlockRunner::run.
+// Cancellation is therefore prompt for any kernel that either spans multiple
+// blocks or keeps synchronizing — the two ways a simulated launch can be
+// long-running.  A single thread body spinning without ever reaching a
+// barrier is not preemptible (the simulator cannot interrupt arbitrary C++);
+// the watchdog contract documents this in docs/error-handling.md.
+//
+// Observers either poll `cancelled()` (pool level: stop claiming work) or
+// call `check()` (launch level: convert the cancellation into the
+// StatusError the watchdog requested, typically Status::kTimeout).
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "common/error.h"
+
+namespace g80 {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation.  First caller wins; later requests are ignored so
+  // the recorded status/reason always names the original cause.
+  void request(Status status, const std::string& reason) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    status_ = status;
+    reason_ = reason;
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  // Throws the requested StatusError if cancellation was requested;
+  // otherwise returns immediately.  `where` names the execution phase for
+  // the diagnostic ("trace pass", "functional pass", "block barrier").
+  void check(const char* where) const {
+    if (!cancelled()) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    throw StatusError(status_, std::string(status_name(status_)) + ": " +
+                                   reason_ + " (observed in " + where + ")");
+  }
+
+  Status status() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return status_;
+  }
+  std::string reason() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status status_ = Status::kSuccess;  // meaningful only once cancelled
+  std::string reason_;
+};
+
+}  // namespace g80

@@ -11,6 +11,7 @@ struct WorkerPool::Job {
   std::uint64_t total = 0;
   std::uint64_t chunk = 1;
   const std::function<void(int, std::uint64_t)>* body = nullptr;
+  const CancelToken* cancel = nullptr;  // optional watchdog token
   std::atomic<std::uint64_t> next{0};  // next unclaimed index
   std::atomic<int> next_slot{1};       // slot 0 is the caller
   int active = 0;                      // helpers inside work() (guarded by mu_)
@@ -19,8 +20,11 @@ struct WorkerPool::Job {
   std::uint64_t err_index = ~0ull;
   std::exception_ptr err;
 
+  bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
+
   bool claimable(int width) const {
-    return next.load(std::memory_order_relaxed) < total &&
+    return !cancelled() &&
+           next.load(std::memory_order_relaxed) < total &&
            next_slot.load(std::memory_order_relaxed) < width;
   }
 };
@@ -48,6 +52,9 @@ int WorkerPool::default_width(int requested) {
 
 void WorkerPool::work(Job& job, int slot) {
   for (;;) {
+    // Cancellation point: a fired watchdog stops new chunks being claimed;
+    // parallel_for converts the skipped remainder into the token's error.
+    if (job.cancelled()) return;
     const std::uint64_t begin =
         job.next.fetch_add(job.chunk, std::memory_order_relaxed);
     if (begin >= job.total) return;
@@ -68,11 +75,13 @@ void WorkerPool::work(Job& job, int slot) {
 }
 
 void WorkerPool::parallel_for(
-    std::uint64_t total, const std::function<void(int, std::uint64_t)>& body) {
+    std::uint64_t total, const std::function<void(int, std::uint64_t)>& body,
+    const CancelToken* cancel) {
   if (total == 0) return;
   Job job;
   job.total = total;
   job.body = &body;
+  job.cancel = cancel;
   // Small chunks balance heterogeneous block costs; ~8 chunks per slot.
   job.chunk = std::max<std::uint64_t>(
       1, total / (static_cast<std::uint64_t>(width_) * 8));
@@ -93,6 +102,13 @@ void WorkerPool::parallel_for(
     }
   }
   if (job.err) std::rethrow_exception(job.err);
+  // Indices skipped because the token fired must not read as success.  A
+  // body exception (above) takes precedence — it usually IS the timeout,
+  // thrown from a cancellation check inside the body.
+  if (cancel != nullptr && cancel->cancelled() &&
+      job.next.load(std::memory_order_relaxed) < job.total) {
+    cancel->check("parallel_for");
+  }
 }
 
 void WorkerPool::helper_loop() {

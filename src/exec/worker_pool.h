@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/cancel.h"
+
 namespace g80 {
 
 class WorkerPool {
@@ -40,8 +42,14 @@ class WorkerPool {
   // as slot 0; helpers that pick the job up take slots 1..width-1.  Returns
   // only after every index has been processed (or attempted); if any calls
   // threw, the exception from the lowest index is rethrown.
+  //
+  // `cancel` (optional) is a cancellation point between blocks: once the
+  // token fires, no further indices are claimed, in-flight bodies finish,
+  // and — unless a body exception takes precedence — the token's
+  // StatusError is thrown so skipped work is never reported as success.
   void parallel_for(std::uint64_t total,
-                    const std::function<void(int, std::uint64_t)>& body);
+                    const std::function<void(int, std::uint64_t)>& body,
+                    const CancelToken* cancel = nullptr);
 
   // Pool width to use when the caller gave no explicit request (0):
   // hardware_concurrency clamped to [1, 16].

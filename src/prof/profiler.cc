@@ -30,6 +30,10 @@ void Profiler::record_launch(std::string_view kernel_name,
   p->max_simultaneous_threads = stats.occupancy.max_simultaneous_threads(spec);
   p->grid = stats.grid;
   p->block = stats.block;
+  p->retries += static_cast<std::uint64_t>(stats.resilience.retries());
+  if (stats.resilience.timed_out) ++p->timeouts;
+  if (stats.resilience.recovered) ++p->recovered;
+  if (stats.resilience.fallback_level > 0) ++p->fallback_launches;
 }
 
 void Profiler::record_transfer(bool h2d, std::uint64_t bytes,

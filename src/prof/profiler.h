@@ -43,6 +43,14 @@ struct KernelProfile {
   std::size_t smem_per_block = 0;
   int max_simultaneous_threads = 0;  // Table 3, column 2
   Dim3 grid, block;
+  // g80resil recovery provenance, accumulated over launches: total retried
+  // attempts, launches with a watchdog-cancelled attempt, launches that
+  // succeeded only via retry, and launches whose final attempt ran at a
+  // degraded fallback level (see resil/policy.h).
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t fallback_launches = 0;
 };
 
 // Host<->device transfer totals (paper Table 3's "CPU-GPU transfer time").

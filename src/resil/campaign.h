@@ -1,0 +1,120 @@
+// g80resil fault-campaign engine.
+//
+// A fault campaign answers the question the unit tests cannot: does the
+// detect -> reset -> relaunch recovery story hold for *every* application in
+// the paper's §5 suite, at every fault point we can inject?  For each
+// application target the engine sweeps fault kind x thread x dynamic index
+// x block over the g80check deterministic fault injectors and asserts the
+// full recovery contract per case:
+//
+//   detect     the faulted launch throws StatusError and leaves a sticky
+//              non-success Status on the Device;
+//   recover    Device::reset() returns the device to a clean state (status
+//              kSuccess, zero bytes allocated);
+//   identical  a from-scratch relaunch on the reset device reproduces the
+//              pre-fault output digest bit-for-bit.
+//
+// The global-store corruption fault (FaultInjection::corrupt_global_*) is
+// applicable to all 13 applications — every kernel writes global output —
+// while barrier-skip and shared-store corruption apply only to targets whose
+// kernels use __syncthreads / __shared__.
+//
+// This header sits *above* the app layer (it needs whole-kernel launches),
+// so it lives in its own CMake target (g80_campaign), keeping g80_resil
+// itself below cudalite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "cudalite/device.h"
+#include "sanitizer/sanitizer.h"
+
+namespace g80::resil {
+
+// FNV-1a, the digest used for the bit-identical-relaunch assertion.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = 14695981039346656037ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t fnv1a_vec(const std::vector<T>& v,
+                        std::uint64_t h = 14695981039346656037ull) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return v.empty() ? h : fnv1a(v.data(), v.size() * sizeof(T), h);
+}
+
+// One application target.  `run` allocates fresh device buffers (so it works
+// on a freshly reset device), launches the app's kernel once with the given
+// sanitize options folded into its LaunchOptions, and returns an FNV digest
+// of the kernel's global outputs.
+struct CampaignTarget {
+  std::string name;
+  std::function<std::uint64_t(Device&, const SanitizerOptions&)> run;
+  bool has_barrier = false;       // kernel calls __syncthreads
+  bool has_shared_store = false;  // kernel writes __shared__
+  // Threads guaranteed to perform at least `global_stores_per_thread`
+  // global stores in every block (the sweep's thread dimension; e.g. H.264
+  // only writes global output from thread 0 of each block).
+  std::vector<int> global_tids = {0};
+  int global_stores_per_thread = 1;
+};
+
+enum class FaultKind {
+  kCorruptGlobalStore,  // OOB global store -> kInvalidAddress (all apps)
+  kSkipBarrier,         // divergent __syncthreads -> kBarrierDivergence
+  kCorruptSharedStore,  // cross-thread shared collision -> kSharedMemoryRace
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct CaseResult {
+  std::string target;
+  FaultKind kind = FaultKind::kCorruptGlobalStore;
+  int tid = 0;
+  int index = 0;            // dynamic store / barrier index
+  std::int64_t block = 0;   // -1 = every block
+  Status status = Status::kSuccess;  // what the faulted launch raised
+  bool detected = false;
+  bool recovered = false;
+  bool identical = false;
+
+  bool passed() const { return detected && recovered && identical; }
+};
+
+struct CampaignConfig {
+  // Smoke mode restricts the sweep to one point per applicable fault kind
+  // per target (tid/index/block all 0) — the tier-1 / script-smoke setting.
+  bool smoke = false;
+};
+
+struct CampaignReport {
+  std::vector<CaseResult> cases;
+
+  int total() const { return static_cast<int>(cases.size()); }
+  int detected() const;
+  int recovered() const;
+  int identical() const;
+  bool all_passed() const;
+  // One line per failing case plus a totals line.
+  std::string summary() const;
+};
+
+// The 13-application target table (small problem instances; the sanitize
+// pass runs the full grid sequentially, so campaign inputs stay tiny).
+std::vector<CampaignTarget> default_targets();
+
+CampaignReport run_campaign(const std::vector<CampaignTarget>& targets,
+                            const CampaignConfig& cfg = {});
+
+}  // namespace g80::resil

@@ -16,7 +16,23 @@ Runtime::Runtime(Device& dev, RuntimeOptions opt)
     : dev_(dev),
       pool_(WorkerPool::default_width(opt.workers)),
       profiler_(opt.profiler),
-      scope_(opt.scope) {}
+      scope_(opt.scope) {
+  // Device::reset tears the runtime's streams back to a clean slate too:
+  // drain whatever is in flight (errored streams drain without executing),
+  // then drop every sticky per-stream failure, mirroring how cudaDeviceReset
+  // invalidates outstanding async state.
+  reset_hook_id_ = dev_.add_reset_hook([this] {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (auto& [id, st] : streams_) {
+      StreamImpl* p = st.get();
+      cv_.wait(lk, [&] { return p->queue.empty() && !p->busy; });
+    }
+    for (auto& [id, st] : streams_) {
+      st->error = nullptr;
+      st->error_status = Status::kSuccess;
+    }
+  });
+}
 
 namespace detail {
 std::vector<TimelineBlockSpan> wave_block_spans(const DeviceSpec& spec,
@@ -51,6 +67,9 @@ std::vector<TimelineBlockSpan> wave_block_spans(const DeviceSpec& spec,
 }  // namespace detail
 
 Runtime::~Runtime() {
+  // Deregister from the device first: a reset fired mid-destruction would
+  // race the stream teardown below.
+  dev_.remove_reset_hook(reset_hook_id_);
   // Drain and stop every stream.  Errors were already made sticky on the
   // Device; a destructor cannot rethrow them.
   std::vector<std::unique_ptr<StreamImpl>> victims;
@@ -151,6 +170,18 @@ bool Runtime::stream_query(Stream s) {
   std::lock_guard<std::mutex> lk(mu_);
   StreamImpl& st = stream_impl_locked(s);
   return st.queue.empty() && !st.busy;
+}
+
+Status Runtime::stream_get_last_error(Stream s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stream_impl_locked(s).error_status;
+}
+
+void Runtime::stream_clear_error(Stream s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  StreamImpl& st = stream_impl_locked(s);
+  st.error = nullptr;
+  st.error_status = Status::kSuccess;
 }
 
 void Runtime::device_synchronize() {
@@ -265,20 +296,28 @@ void Runtime::stream_loop(StreamImpl* st) {
     std::vector<TimelineBlockSpan> blocks;
     std::uint64_t scope_id = kNoScopeId;
     std::exception_ptr err;
+    Status err_status = Status::kSuccess;
     if (!skip) {
       // After the first failure the stream drains its queue without
       // executing, CUDA-style; the error resurfaces at synchronization.
       t_active_runtime = this;
       try {
         duration = op.run(blocks, scope_id);
+      } catch (const StatusError& e) {
+        err = std::current_exception();
+        err_status = e.status();
       } catch (...) {
         err = std::current_exception();
+        err_status = Status::kLaunchFailure;
       }
       t_active_runtime = nullptr;
     }
 
     lk.lock();
-    if (err && !st->error) st->error = err;
+    if (err && !st->error) {
+      st->error = err;
+      st->error_status = err_status;
+    }
     PendingCommit pc;
     pc.stream = st->id;
     pc.engine = op.engine;

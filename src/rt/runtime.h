@@ -124,6 +124,17 @@ class Runtime {
   // of the lowest-id errored stream.
   void device_synchronize();
 
+  // --- Per-stream error isolation (g80resil) ---
+  // The Status of the stream's first asynchronous failure (kSuccess if none),
+  // without waiting and without clearing it — the per-stream analogue of
+  // Device::peek_last_error.  Other streams' failures never show here.
+  Status stream_get_last_error(Stream s);
+  // Clears the stream's sticky failure so subsequently enqueued ops execute
+  // again (skipped ops are gone; they were drained, not replayed).  The
+  // device-level sticky Status is untouched — clear it separately via
+  // Device::get_last_error or Device::reset.
+  void stream_clear_error(Stream s);
+
   // --- Events ---
   Event event_create();
   void event_destroy(Event e);  // waits for a pending record, then frees
@@ -252,6 +263,7 @@ class Runtime {
     bool busy = false;     // thread is executing an op
     bool stop = false;
     std::exception_ptr error;  // first async failure; later ops are skipped
+    Status error_status = Status::kSuccess;  // its Status, for peeking
     std::thread thread;
   };
 
@@ -293,6 +305,7 @@ class Runtime {
   std::uint64_t next_event_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t commit_seq_ = 0;
+  std::uint64_t reset_hook_id_ = 0;  // Device::reset integration
 };
 
 }  // namespace g80::rt

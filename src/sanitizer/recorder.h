@@ -44,12 +44,16 @@ class SanitizerRecorder {
   std::size_t fault_shared_index(std::size_t i, std::size_t n) {
     return san_->fault_shared_store_index(tid_, store_seq_++, i, n);
   }
+  std::size_t fault_global_index(std::size_t i, std::size_t n) {
+    return san_->fault_global_store_index(tid_, global_seq_++, i, n);
+  }
 
  private:
   Sanitizer* san_;
   int tid_;
-  int sync_seq_ = 0;   // dynamic __syncthreads() count for this thread
-  int store_seq_ = 0;  // dynamic shared-store count for this thread
+  int sync_seq_ = 0;    // dynamic __syncthreads() count for this thread
+  int store_seq_ = 0;   // dynamic shared-store count for this thread
+  int global_seq_ = 0;  // dynamic global-store count for this thread
 };
 
 }  // namespace g80

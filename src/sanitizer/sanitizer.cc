@@ -120,4 +120,28 @@ std::size_t Sanitizer::fault_shared_store_index(int tid, int store_index,
   return n == 0 ? i : (i + opt_.fault.corrupt_offset_words) % n;
 }
 
+std::size_t Sanitizer::fault_global_store_index(int tid, int store_index,
+                                                std::size_t i,
+                                                std::size_t n) const {
+  if (!fault_applies(tid, store_index, opt_.fault.corrupt_global_tid,
+                     opt_.fault.corrupt_global_index))
+    return i;
+  return n;  // one past the end: the bounds check raises kInvalidAddress
+}
+
+FaultClass classify_fault(Status s) {
+  switch (s) {
+    // Host-environment effects: re-executing (after backoff, possibly in a
+    // degraded mode) can legitimately produce a different outcome.
+    case Status::kTimeout:
+    case Status::kLaunchFailure:
+    case Status::kNotReady:
+      return FaultClass::kTransient;
+    // Everything else is a deterministic programming-model or configuration
+    // violation — the same launch fails the same way every time.
+    default:
+      return FaultClass::kPermanent;
+  }
+}
+
 }  // namespace g80

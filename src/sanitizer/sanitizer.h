@@ -41,6 +41,14 @@ struct FaultInjection {
   int corrupt_store_tid = -1;  // -1 disables
   int corrupt_store_index = 0;
   std::uint32_t corrupt_offset_words = 1;
+  // Redirect this thread's n-th *global* store out of bounds (to index n of
+  // an n-element view), modeling a wild device pointer.  Unlike the shared
+  // faults this is detectable in any kernel — every kernel in the suite
+  // writes global output — so the fault campaign (resil/campaign.h) can
+  // exercise all 13 applications.  The OOB store raises
+  // Status::kInvalidAddress from the sanitize pass.
+  int corrupt_global_tid = -1;  // -1 disables
+  int corrupt_global_index = 0;
   // Linear block index the faults apply to; -1 applies to every block.
   std::int64_t block = 0;
 };
@@ -74,6 +82,20 @@ struct SanitizerReport {
   std::string summary() const;
 };
 
+// Recovery-oriented classification of a failed launch's Status (g80resil).
+// Transient faults are worth re-executing — a wall-clock watchdog timeout
+// (host scheduling; a retry may complete, possibly after falling back to a
+// cheaper execution mode) or an unclassified kLaunchFailure (e.g. a kernel
+// functor that threw).  Permanent faults are deterministic programming-model
+// violations: the identical launch fails identically, so the only recovery
+// is Device::reset() plus a corrected relaunch.
+enum class FaultClass {
+  kTransient,  // retry (with backoff / fallback) may succeed
+  kPermanent,  // deterministic violation; retry cannot help
+};
+
+FaultClass classify_fault(Status s);
+
 class Sanitizer final : public BarrierObserver {
  public:
   Sanitizer(const SanitizerOptions& opt, std::size_t smem_capacity);
@@ -93,6 +115,8 @@ class Sanitizer final : public BarrierObserver {
   // Fault-injection queries (see FaultInjection).
   bool should_skip_barrier(int tid, int sync_index) const;
   std::size_t fault_shared_store_index(int tid, int store_index, std::size_t i,
+                                       std::size_t n) const;
+  std::size_t fault_global_store_index(int tid, int store_index, std::size_t i,
                                        std::size_t n) const;
 
   const SanitizerReport& report() const { return report_; }

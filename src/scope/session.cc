@@ -7,7 +7,7 @@
 namespace g80::scope {
 
 std::uint64_t Session::record(std::string kernel_name, std::uint64_t stream,
-                              KernelScope scope) {
+                              KernelScope scope, ResilienceStats resilience) {
   std::lock_guard<std::mutex> lock(mu_);
   LaunchRecord r;
   const std::uint64_t id = next_id_++;
@@ -15,6 +15,7 @@ std::uint64_t Session::record(std::string kernel_name, std::uint64_t stream,
   r.kernel_name = std::move(kernel_name);
   r.stream = stream;
   r.scope = std::move(scope);
+  r.resilience = std::move(resilience);
   launches_.push_back(std::move(r));
   return id;
 }
@@ -46,7 +47,7 @@ std::uint64_t record_launch(Session& sink, const std::string& kernel_name,
       derive_scope(spec, stats.occupancy, stats.grid.count(), stats.trace,
                    stats.timing, sink.config());
   return sink.record(kernel_name.empty() ? "kernel" : kernel_name, stream,
-                     std::move(scope));
+                     std::move(scope), stats.resilience);
 }
 
 }  // namespace detail

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "resil/policy.h"
 #include "scope/scope.h"
 
 namespace g80::scope {
@@ -29,6 +30,10 @@ struct LaunchRecord {
   std::string kernel_name;
   std::uint64_t stream = 0;
   KernelScope scope;
+  // g80resil recovery provenance of this launch (attempt count, fallback
+  // level, recovered/timed-out flags); default-valued when resilience was
+  // disabled, so existing consumers are unaffected.
+  ResilienceStats resilience;
 };
 
 class Session {
@@ -37,7 +42,7 @@ class Session {
 
   // Appends a record and returns its id.
   std::uint64_t record(std::string kernel_name, std::uint64_t stream,
-                       KernelScope scope);
+                       KernelScope scope, ResilienceStats resilience = {});
 
   // Records in arrival order (copy; the session keeps accepting records).
   std::vector<LaunchRecord> launches() const;

@@ -1,0 +1,240 @@
+// Invariant fuzzing (ROADMAP item 5): randomized launch configurations
+// checked against universal properties of the simulator, rather than
+// hand-computed expectations.  Tier-1 runs a small fixed-seed sweep so
+// results are reproducible; the long configuration (G80_LONG_FUZZ /
+// `ctest -L long`) re-runs the same binary with a larger iteration budget:
+//
+//   G80_FUZZ_ITERS   iterations per property sweep (default 8)
+//   G80_FUZZ_SEED    RNG seed (default 12345)
+//
+// Properties checked on every random configuration:
+//   1. block scheduling never changes results: sequential, pooled, and
+//      ambient-pool launches produce bit-identical outputs and identical
+//      modeled timing;
+//   2. the g80check sanitize pass is sound on clean kernels (no findings)
+//      and side-effect-free (outputs identical with it on or off);
+//   3. an enabled-but-untriggered resilience policy is a no-op: same
+//      outputs, exactly one attempt, clean history;
+//   4. model sanity: occupancy fraction in (0, 1], modeled time positive,
+//      achieved DRAM bandwidth never exceeds the 86.4 GB/s hardware peak.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "cudalite/ctx.h"
+#include "cudalite/device.h"
+#include "cudalite/launch.h"
+#include "exec/worker_pool.h"
+
+namespace g80 {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return std::atoi(v);
+}
+
+int fuzz_iters() { return std::max(1, env_int("G80_FUZZ_ITERS", 8)); }
+unsigned fuzz_seed() {
+  return static_cast<unsigned>(env_int("G80_FUZZ_SEED", 12345));
+}
+
+// Streaming kernel, no synchronization: every thread transforms one element.
+struct MadStreamKernel {
+  int n = 0;
+  float scale = 1.0f;
+  template <class Ctx>
+  void operator()(Ctx& ctx, DeviceBuffer<float>& in,
+                  DeviceBuffer<float>& out) const {
+    auto In = ctx.global(in);
+    auto Out = ctx.global(out);
+    const int i = ctx.global_thread_x();
+    if (ctx.branch(i < n)) {
+      float v = In.ld(i);
+      v = ctx.mad(v, scale, 1.0f);
+      Out.st(i, v);
+    }
+  }
+};
+
+// Cooperative kernel: block-wide reverse through shared memory (barrier +
+// shared stores, so the sanitize pass has real work to validate).
+struct ReverseKernel {
+  template <class Ctx>
+  void operator()(Ctx& ctx, DeviceBuffer<float>& in,
+                  DeviceBuffer<float>& out) const {
+    auto In = ctx.global(in);
+    auto Out = ctx.global(out);
+    auto S = ctx.template shared<float>(ctx.block_dim().x);
+    const int t = static_cast<int>(ctx.thread_idx().x);
+    const int base = static_cast<int>(ctx.block_idx().x * ctx.block_dim().x);
+    S.st(t, In.ld(base + t));
+    ctx.sync();
+    Out.st(base + t, S.ld(ctx.block_dim().x - 1 - t));
+  }
+};
+
+// One random launch configuration.
+struct FuzzConfig {
+  int blocks = 1;
+  int threads = 32;
+  int sample_blocks = 1;
+  int regs = 10;
+  bool cooperative = false;  // ReverseKernel instead of MadStreamKernel
+  float scale = 1.0f;
+
+  int n() const { return blocks * threads; }
+  std::string str() const {
+    return "blocks=" + std::to_string(blocks) +
+           " threads=" + std::to_string(threads) +
+           " sample_blocks=" + std::to_string(sample_blocks) +
+           " regs=" + std::to_string(regs) +
+           (cooperative ? " kernel=reverse" : " kernel=mad");
+  }
+};
+
+FuzzConfig random_config(std::mt19937& rng) {
+  static const int kThreads[] = {32, 64, 128, 256};
+  FuzzConfig c;
+  c.blocks = std::uniform_int_distribution<int>(1, 8)(rng);
+  c.threads = kThreads[std::uniform_int_distribution<int>(0, 3)(rng)];
+  c.sample_blocks = std::uniform_int_distribution<int>(1, 4)(rng);
+  c.regs = std::uniform_int_distribution<int>(8, 16)(rng);
+  c.cooperative = std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+  c.scale =
+      0.25f * static_cast<float>(std::uniform_int_distribution<int>(1, 8)(rng));
+  return c;
+}
+
+std::vector<float> random_input(std::mt19937& rng, int n) {
+  std::uniform_real_distribution<float> dist(-4.0f, 4.0f);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+LaunchOptions base_options(const FuzzConfig& c) {
+  LaunchOptions opt;
+  opt.regs_per_thread = c.regs;
+  opt.sample_blocks = c.sample_blocks;
+  opt.uses_sync = c.cooperative;
+  return opt;
+}
+
+// Runs `c` with the given options on a fresh device; returns (output, stats).
+std::pair<std::vector<float>, LaunchStats> run_config(
+    const FuzzConfig& c, const std::vector<float>& input,
+    const LaunchOptions& opt) {
+  Device dev;
+  auto in = dev.alloc<float>(static_cast<std::size_t>(c.n()));
+  auto out = dev.alloc<float>(static_cast<std::size_t>(c.n()));
+  in.copy_from_host(input);
+  LaunchStats stats;
+  if (c.cooperative) {
+    stats = launch(dev, Dim3(static_cast<unsigned>(c.blocks)),
+                   Dim3(static_cast<unsigned>(c.threads)), opt, ReverseKernel{},
+                   in, out);
+  } else {
+    stats = launch(dev, Dim3(static_cast<unsigned>(c.blocks)),
+                   Dim3(static_cast<unsigned>(c.threads)), opt,
+                   MadStreamKernel{c.n(), c.scale}, in, out);
+  }
+  return {out.copy_to_host(), stats};
+}
+
+TEST(InvariantFuzz, BlockSchedulingNeverChangesResults) {
+  std::mt19937 rng(fuzz_seed());
+  WorkerPool pool(4);
+  for (int it = 0; it < fuzz_iters(); ++it) {
+    const auto c = random_config(rng);
+    const auto input = random_input(rng, c.n());
+
+    const auto [seq_out, seq_stats] = run_config(c, input, base_options(c));
+
+    LaunchOptions pooled = base_options(c);
+    pooled.pool = &pool;
+    const auto [pool_out, pool_stats] = run_config(c, input, pooled);
+
+    ScopedLaunchPool ambient(&pool);
+    const auto [amb_out, amb_stats] = run_config(c, input, base_options(c));
+
+    EXPECT_EQ(seq_out, pool_out) << c.str();
+    EXPECT_EQ(seq_out, amb_out) << c.str();
+    EXPECT_DOUBLE_EQ(seq_stats.timing.seconds, pool_stats.timing.seconds)
+        << c.str();
+    EXPECT_DOUBLE_EQ(seq_stats.trace.total.lane_flops,
+                     pool_stats.trace.total.lane_flops)
+        << c.str();
+    EXPECT_EQ(seq_stats.smem_per_block, pool_stats.smem_per_block) << c.str();
+  }
+}
+
+TEST(InvariantFuzz, SanitizerSoundAndSideEffectFreeOnCleanKernels) {
+  std::mt19937 rng(fuzz_seed() + 1);
+  for (int it = 0; it < fuzz_iters(); ++it) {
+    const auto c = random_config(rng);
+    const auto input = random_input(rng, c.n());
+
+    const auto [plain_out, plain_stats] = run_config(c, input, base_options(c));
+
+    LaunchOptions sanitized = base_options(c);
+    sanitized.sanitize.enabled = true;
+    const auto [san_out, san_stats] = run_config(c, input, sanitized);
+
+    EXPECT_TRUE(san_stats.sanitizer.clean())
+        << c.str() << ": " << san_stats.sanitizer.summary();
+    EXPECT_EQ(plain_out, san_out) << c.str();
+  }
+}
+
+TEST(InvariantFuzz, UntriggeredResiliencePolicyIsNoOp) {
+  std::mt19937 rng(fuzz_seed() + 2);
+  for (int it = 0; it < fuzz_iters(); ++it) {
+    const auto c = random_config(rng);
+    const auto input = random_input(rng, c.n());
+
+    const auto [plain_out, plain_stats] = run_config(c, input, base_options(c));
+
+    LaunchOptions resilient = base_options(c);
+    resilient.resilience.enabled = true;
+    resilient.resilience.wall_timeout_s = 60.0;  // never fires
+    const auto [res_out, res_stats] = run_config(c, input, resilient);
+
+    EXPECT_EQ(plain_out, res_out) << c.str();
+    EXPECT_EQ(res_stats.resilience.attempts, 1) << c.str();
+    EXPECT_FALSE(res_stats.resilience.recovered) << c.str();
+    EXPECT_FALSE(res_stats.resilience.timed_out) << c.str();
+    ASSERT_EQ(res_stats.resilience.history.size(), 1u) << c.str();
+    EXPECT_EQ(res_stats.resilience.history[0].status, Status::kSuccess)
+        << c.str();
+    EXPECT_DOUBLE_EQ(plain_stats.timing.seconds, res_stats.timing.seconds)
+        << c.str();
+  }
+}
+
+TEST(InvariantFuzz, ModelStaysWithinHardwareEnvelope) {
+  std::mt19937 rng(fuzz_seed() + 3);
+  const DeviceSpec spec = DeviceSpec::geforce_8800_gtx();
+  for (int it = 0; it < fuzz_iters(); ++it) {
+    const auto c = random_config(rng);
+    const auto input = random_input(rng, c.n());
+    const auto [out, stats] = run_config(c, input, base_options(c));
+
+    const double occ = stats.occupancy.fraction(spec);
+    EXPECT_GT(occ, 0.0) << c.str();
+    EXPECT_LE(occ, 1.0) << c.str();
+    EXPECT_GT(stats.timing.seconds, 0.0) << c.str();
+    EXPECT_LE(stats.timing.dram_gbs, spec.dram_bandwidth_gbs * (1 + 1e-9))
+        << c.str();
+    EXPECT_LE(stats.occupancy.active_warps_per_sm, spec.max_warps_per_sm())
+        << c.str();
+  }
+}
+
+}  // namespace
+}  // namespace g80
