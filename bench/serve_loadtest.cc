@@ -1,0 +1,251 @@
+// g80serve loadtest: hundreds of concurrent sessions against one daemon.
+//
+// Phases:
+//   cold — one session simulates the 24-job working set (every job a cache
+//          miss, every result recorded as the reference bytes);
+//   warm — kSessions concurrent client threads re-request jobs from the
+//          same working set; every response must be a cache hit and
+//          byte-identical to the cold reference.
+//
+// The deterministic metrics (job/session/error counts, cache counters, the
+// bit_identical and warm_speedup_ok gates) are regression-diffed against
+// bench/baselines/BENCH_serve_loadtest.json; wall_* metrics (throughput,
+// client-observed latency percentiles, the measured speedup) are recorded
+// for context only.
+//
+// By default the bench hosts an in-process Server; set G80_SERVE_SOCKET to
+// point it at an externally started g80served instead (scripts/
+// check_serve.sh drives the daemon binary through this).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace g80::serve {
+namespace {
+
+constexpr int kSessions = 120;
+constexpr int kJobsPerSession = 4;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double percentile_ms(std::vector<double>& seconds, double p) {
+  if (seconds.empty()) return 0;
+  std::sort(seconds.begin(), seconds.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(seconds.size() - 1));
+  return seconds[idx] * 1e3;
+}
+
+// The 24-job working set: saxpy and matmul variants spread over the three
+// device classes.  Heavy enough that a cold simulation dwarfs a cache
+// lookup, small enough that the cold phase stays a few seconds.
+std::vector<JobRequest> working_set(std::uint64_t seed) {
+  std::vector<JobRequest> jobs;
+  const char* classes[] = {"gtx", "ultra", "gts"};
+  for (int i = 0; i < 8; ++i) {
+    JobRequest req;
+    req.op = Op::kLaunch;
+    req.kernel = "saxpy";
+    req.n = 32768 + 4096 * i;
+    req.seed = static_cast<std::int64_t>(seed + i);
+    req.device_class = classes[i % 3];
+    jobs.push_back(req);
+  }
+  const char* variants[] = {"tiled", "tiled_unrolled", "prefetch", "regtiled"};
+  for (int i = 0; i < 16; ++i) {
+    JobRequest req;
+    req.op = Op::kLaunch;
+    req.kernel = "matmul";
+    req.n = 96;
+    req.tile = 16;
+    req.variant = variants[i % 4];
+    req.seed = static_cast<std::int64_t>(seed + 100 + i / 4);
+    req.device_class = classes[i % 3];
+    jobs.push_back(req);
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int loadtest_main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "serve_loadtest");
+
+  // Hosting: in-process server unless G80_SERVE_SOCKET points elsewhere.
+  std::optional<Server> server;
+  std::string socket_path;
+  if (const char* external = std::getenv("G80_SERVE_SOCKET")) {
+    socket_path = external;
+    h.human() << "driving external daemon at " << socket_path << "\n";
+  } else {
+    ServerConfig cfg;
+    cfg.socket_path =
+        "/tmp/g80s_load_" + std::to_string(::getpid()) + ".sock";
+    cfg.pool.gtx_slots = 2;
+    cfg.pool.ultra_slots = 1;
+    cfg.pool.gts_slots = 1;
+    cfg.pool.max_queue_depth = 256;
+    server.emplace(cfg);
+    server->start();
+    socket_path = cfg.socket_path;
+  }
+
+  const std::vector<JobRequest> jobs = working_set(h.seed());
+
+  // --- cold phase -----------------------------------------------------------
+  std::vector<std::string> reference(jobs.size());
+  std::vector<double> cold_latencies;
+  int cold_errors = 0;
+  const double cold_start = now_seconds();
+  {
+    Client warmer(socket_path, "loadtest-warmer");
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const double t0 = now_seconds();
+      const Response r = warmer.call(jobs[i]);
+      cold_latencies.push_back(now_seconds() - t0);
+      if (!r.ok() || r.source != "sim") {
+        ++cold_errors;
+        h.human() << "cold job " << i << " failed: " << r.error << "\n";
+        continue;
+      }
+      reference[i] = r.result_json;
+    }
+  }
+  const double cold_wall = now_seconds() - cold_start;
+
+  // --- warm phase -----------------------------------------------------------
+  std::atomic<int> warm_errors{0};
+  std::atomic<int> warm_cache_hits{0};
+  std::atomic<int> warm_mismatches{0};
+  std::mutex latencies_mu;
+  std::vector<double> warm_latencies;
+  const double warm_start = now_seconds();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+      threads.emplace_back([&, s] {
+        std::vector<double> local_latencies;
+        try {
+          Client client(socket_path, "loadtest-" + std::to_string(s));
+          for (int j = 0; j < kJobsPerSession; ++j) {
+            const std::size_t idx =
+                (static_cast<std::size_t>(s) * 7 + static_cast<std::size_t>(j)) %
+                jobs.size();
+            const double t0 = now_seconds();
+            const Response r = client.call(jobs[idx]);
+            local_latencies.push_back(now_seconds() - t0);
+            if (!r.ok()) {
+              ++warm_errors;
+              continue;
+            }
+            if (r.source == "cache_mem" || r.source == "cache_disk") {
+              ++warm_cache_hits;
+            }
+            if (r.result_json != reference[idx]) ++warm_mismatches;
+          }
+        } catch (const Error&) {
+          warm_errors += kJobsPerSession;
+        }
+        std::lock_guard<std::mutex> lock(latencies_mu);
+        warm_latencies.insert(warm_latencies.end(), local_latencies.begin(),
+                              local_latencies.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double warm_wall = now_seconds() - warm_start;
+
+  // --- cache counters (via the protocol, so external daemons work too) -----
+  double cache_misses = 0, cache_hits = 0, cache_stores = 0,
+         cache_evictions = 0;
+  {
+    Client probe(socket_path, "loadtest-probe");
+    JobRequest stats;
+    stats.op = Op::kStats;
+    const Response r = probe.call(stats);
+    if (r.ok()) {
+      const JsonValue& cache =
+          r.doc.require("result").require("server").require("cache");
+      cache_misses = static_cast<double>(cache.get_int("misses", 0));
+      cache_hits = static_cast<double>(cache.get_int("mem_hits", 0) +
+                                       cache.get_int("disk_hits", 0));
+      cache_stores = static_cast<double>(cache.get_int("stores", 0));
+      cache_evictions = static_cast<double>(cache.get_int("evictions", 0));
+    }
+  }
+  if (server) server->shutdown();
+
+  // --- report ---------------------------------------------------------------
+  const int warm_jobs = kSessions * kJobsPerSession;
+  const double cold_throughput =
+      cold_wall > 0 ? static_cast<double>(jobs.size()) / cold_wall : 0;
+  const double warm_throughput =
+      warm_wall > 0 ? static_cast<double>(warm_jobs) / warm_wall : 0;
+  const double speedup =
+      cold_throughput > 0 ? warm_throughput / cold_throughput : 0;
+  const bool bit_identical = warm_mismatches == 0 && cold_errors == 0;
+
+  h.human() << "cold: " << jobs.size() << " jobs in " << cold_wall << " s ("
+            << cold_throughput << " jobs/s)\n"
+            << "warm: " << kSessions << " sessions x " << kJobsPerSession
+            << " jobs in " << warm_wall << " s (" << warm_throughput
+            << " jobs/s, " << speedup << "x cold)\n"
+            << "errors: " << cold_errors + warm_errors.load()
+            << ", mismatches: " << warm_mismatches.load() << "\n";
+
+  auto& cold = h.result("cold");
+  cold.set("jobs", static_cast<double>(jobs.size()));
+  cold.set("errors", cold_errors);
+  cold.set("wall_seconds", cold_wall);
+  cold.set("wall_p50_ms", percentile_ms(cold_latencies, 0.50));
+  cold.set("wall_jobs_per_s", cold_throughput);
+
+  auto& warm = h.result("warm");
+  warm.set("sessions", kSessions);
+  warm.set("jobs", warm_jobs);
+  warm.set("errors", warm_errors.load());
+  warm.set("cache_hits_observed", warm_cache_hits.load());
+  warm.set("wall_seconds", warm_wall);
+  warm.set("wall_p50_ms", percentile_ms(warm_latencies, 0.50));
+  warm.set("wall_p99_ms", percentile_ms(warm_latencies, 0.99));
+  warm.set("wall_jobs_per_s", warm_throughput);
+
+  auto& cache = h.result("cache");
+  cache.set("misses", cache_misses);
+  cache.set("hits", cache_hits);
+  cache.set("stores", cache_stores);
+  cache.set("evictions", cache_evictions);
+  cache.set("hit_rate", (cache_hits + cache_misses) > 0
+                            ? cache_hits / (cache_hits + cache_misses)
+                            : 0);
+
+  auto& gate = h.result("gate");
+  gate.set("bit_identical", bit_identical ? 1 : 0);
+  gate.set("warm_speedup_ok", speedup >= 10.0 ? 1 : 0);
+  gate.set("wall_warm_speedup", speedup);
+
+  return h.finish(DeviceSpec::geforce_8800_gtx());
+}
+
+}  // namespace g80::serve
+
+int main(int argc, char** argv) {
+  return g80::serve::loadtest_main(argc, argv);
+}

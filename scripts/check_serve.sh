@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the g80serve daemon binaries: start g80served on a
+# private socket, exercise it with g80servectl (ping, a cold launch, the
+# warm cache hit that must return byte-identical result bytes, stats), run
+# the loadtest bench against the same daemon, then shut it down cleanly and
+# verify the socket is gone.
+#
+# Usage: scripts/check_serve.sh [build-dir]
+#
+# This is the *process-level* check — the daemon's argument parsing, signal
+# handling, and socket lifecycle.  The protocol/cache/scheduler semantics
+# are covered in-process by tests/serve_*_test.cc.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+served="$build/src/serve/g80served"
+servectl="$build/src/serve/g80servectl"
+loadtest="$build/bench/serve_loadtest"
+for bin in "$served" "$servectl" "$loadtest"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_serve: missing binary $bin (build the repo first)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d /tmp/g80serve-check.XXXXXX)"
+sock="$workdir/served.sock"
+daemon_pid=""
+
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== start g80served"
+"$served" --socket "$sock" --cache-dir "$workdir/cache" \
+  > "$workdir/served.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || { echo "check_serve: daemon never bound $sock" >&2
+                    cat "$workdir/served.log" >&2; exit 1; }
+
+echo "== ping"
+"$servectl" "$sock" ping > /dev/null
+
+echo "== cold launch -> warm cache hit, byte-identical"
+cold="$("$servectl" "$sock" launch kernel=saxpy n=8192 seed=11)"
+warm="$("$servectl" "$sock" launch kernel=saxpy n=8192 seed=11)"
+echo "$cold" | grep -q '"source":"sim"' \
+  || { echo "check_serve: first launch was not a cold simulation" >&2
+       echo "$cold" >&2; exit 1; }
+echo "$warm" | grep -q '"source":"cache_' \
+  || { echo "check_serve: second launch missed the cache" >&2
+       echo "$warm" >&2; exit 1; }
+cold_result="${cold#*\"result\":}"
+warm_result="${warm#*\"result\":}"
+if [ "$cold_result" != "$warm_result" ]; then
+  echo "check_serve: warm result bytes differ from cold" >&2
+  echo "cold: $cold_result" >&2
+  echo "warm: $warm_result" >&2
+  exit 1
+fi
+
+echo "== typed rejection"
+if "$servectl" "$sock" launch kernel=matmul n=100 tile=16 > "$workdir/reject.out" 2>&1; then
+  echo "check_serve: indivisible tile was accepted" >&2; exit 1
+fi
+grep -q invalid_configuration "$workdir/reject.out" \
+  || { echo "check_serve: expected invalid_configuration rejection" >&2
+       cat "$workdir/reject.out" >&2; exit 1; }
+
+echo "== stats"
+"$servectl" "$sock" stats | grep -q '"mem_hits"' \
+  || { echo "check_serve: stats response missing cache counters" >&2; exit 1; }
+
+echo "== loadtest against the external daemon"
+G80_SERVE_SOCKET="$sock" "$loadtest" --out "$workdir/loadtest.json" \
+  > "$workdir/loadtest.log" 2>&1 \
+  || { echo "check_serve: loadtest failed" >&2
+       cat "$workdir/loadtest.log" >&2; exit 1; }
+grep -q '"warm_speedup_ok":1' "$workdir/loadtest.json" \
+  || { echo "check_serve: warm-cache speedup gate failed" >&2
+       cat "$workdir/loadtest.json" >&2; exit 1; }
+grep -q '"bit_identical":1' "$workdir/loadtest.json" \
+  || { echo "check_serve: bit-identity gate failed" >&2
+       cat "$workdir/loadtest.json" >&2; exit 1; }
+
+echo "== clean shutdown via the protocol"
+"$servectl" "$sock" shutdown > /dev/null
+for _ in $(seq 1 50); do
+  kill -0 "$daemon_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "check_serve: daemon still running after shutdown op" >&2; exit 1
+fi
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+if [ -S "$sock" ]; then
+  echo "check_serve: socket not unlinked on shutdown" >&2; exit 1
+fi
+
+echo "check_serve: daemon lifecycle, cache identity, and loadtest gates passed"

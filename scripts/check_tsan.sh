@@ -9,19 +9,23 @@
 # follows the simulated GPU threads across stack switches instead of
 # reporting phantom races.
 #
-# Only the runtime-concurrency tests run here (ctest -R '^(rt_|resil_test)'): they are the
-# ones that exercise the WorkerPool, the stream threads, the g80resil
-# watchdog/cancellation machinery, and the atomic Device counters.  The sequential suite is covered by check_sanitize.sh.
+# Only the concurrency-heavy tests run here
+# (ctest -R '^(rt_|resil_test|serve_)'): they are the ones that exercise the
+# WorkerPool, the stream threads, the g80resil watchdog/cancellation
+# machinery, the atomic Device counters, and the g80serve session/scheduler
+# threads (many concurrent unix-socket sessions sharing one device pool).
+# The sequential suite is covered by check_sanitize.sh.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-tsan}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Tsan
-cmake --build "$build" -j "$(nproc)" --target rt_stream_test rt_parallel_launch_test resil_test
+cmake --build "$build" -j "$(nproc)" --target rt_stream_test rt_parallel_launch_test resil_test \
+  serve_server_test serve_isolation_test serve_cache_test
 
 # second_deadlock_stack: show both lock orders on any lock-inversion report.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-second_deadlock_stack=1}"
 
-ctest --test-dir "$build" --output-on-failure -R '^(rt_|resil_test)' -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -R '^(rt_|resil_test|serve_)' -j "$(nproc)"
 echo "tsan: runtime tests passed"

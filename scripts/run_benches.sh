@@ -34,6 +34,7 @@ benches=(
   rt_throughput
   scope_overhead
   resil_campaign
+  serve_loadtest
 )
 
 # Writes the structured failure document for bench $1 with reason $2.

@@ -1,11 +1,26 @@
 #include "common/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/error.h"
 
 namespace g80 {
+
+// Grants the file-local Parser write access to JsonValue's private fields
+// without widening the public API.
+struct JsonBuilder {
+  static JsonValue::Kind& kind(JsonValue& v) { return v.kind_; }
+  static bool& boolean(JsonValue& v) { return v.bool_; }
+  static double& number(JsonValue& v) { return v.num_; }
+  static std::string& scalar(JsonValue& v) { return v.scalar_; }
+  static std::vector<JsonValue>& elems(JsonValue& v) { return v.elems_; }
+  static std::vector<std::pair<std::string, JsonValue>>& members(JsonValue& v) {
+    return v.members_;
+  }
+};
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -105,6 +120,14 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view serialized_json) {
+  G80_CHECK_MSG(!serialized_json.empty(), "raw() needs a serialized value");
+  before_value();
+  out_ += serialized_json;
+  need_comma_ = true;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(std::uint64_t v) {
   before_value();
   out_ += std::to_string(v);
@@ -136,6 +159,362 @@ std::string JsonWriter::str() const {
   G80_CHECK_MSG(stack_.empty() && !out_.empty(),
                 "JSON document incomplete (unclosed object/array or empty)");
   return out_;
+}
+
+// --- JsonValue parsing ------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing data after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    skip_ws();
+    JsonValue v;
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"':
+        JsonBuilder::kind(v) = JsonValue::Kind::kString;
+        JsonBuilder::scalar(v) = string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        JsonBuilder::kind(v) = JsonValue::Kind::kBool;
+        JsonBuilder::boolean(v) = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        JsonBuilder::kind(v) = JsonValue::Kind::kBool;
+        JsonBuilder::boolean(v) = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        JsonBuilder::kind(v) = JsonValue::Kind::kNull;
+        return v;
+      default: return number();
+    }
+  }
+
+  JsonValue object(int depth) {
+    JsonValue v;
+    JsonBuilder::kind(v) = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = string();
+      for (const auto& [k, _] : JsonBuilder::members(v)) {
+        if (k == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      JsonBuilder::members(v).emplace_back(std::move(key), value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array(int depth) {
+    JsonValue v;
+    JsonBuilder::kind(v) = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonBuilder::elems(v).push_back(value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs are not used by any of
+          // this repo's producers and are rejected rather than mis-decoded).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("surrogate \\u escapes are not supported");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("malformed number");
+    }
+    // JSON integer grammar: a leading zero stands alone ("0", "0.5" — never
+    // "01"), keeping every number's lexeme canonical enough to be unique.
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("number with leading zero");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("malformed number fraction");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("malformed number exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    JsonValue v;
+    JsonBuilder::kind(v) = JsonValue::Kind::kNumber;
+    JsonBuilder::scalar(v) = std::string(text_.substr(start, pos_ - start));
+    JsonBuilder::number(v) = std::strtod(JsonBuilder::scalar(v).c_str(), nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) { return Parser(text).run(); }
+
+void JsonValue::expect(Kind k, const char* what) const {
+  if (kind_ != k) {
+    throw Error(std::string("JSON value is not ") + what);
+  }
+}
+
+bool JsonValue::as_bool() const {
+  expect(Kind::kBool, "a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  expect(Kind::kNumber, "a number");
+  return num_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  expect(Kind::kNumber, "a number");
+  const double r = num_;
+  const auto i = static_cast<std::int64_t>(r);
+  if (static_cast<double>(i) != r) {
+    throw Error("JSON number " + scalar_ + " is not an integer");
+  }
+  return i;
+}
+
+const std::string& JsonValue::as_string() const {
+  expect(Kind::kString, "a string");
+  return scalar_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return elems_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  throw Error("JSON value is not a container");
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  expect(Kind::kArray, "an array");
+  if (i >= elems_.size()) {
+    throw Error("JSON array index " + std::to_string(i) + " out of range");
+  }
+  return elems_[i];
+}
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  expect(Kind::kObject, "an object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::require(std::string_view key) const {
+  const JsonValue* v = get(key);
+  if (v == nullptr) {
+    throw Error("JSON object is missing required key \"" + std::string(key) +
+                "\"");
+  }
+  return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  expect(Kind::kObject, "an object");
+  return members_;
+}
+
+std::string JsonValue::get_string(std::string_view key,
+                                  std::string fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? std::move(fallback) : v->as_string();
+}
+
+std::int64_t JsonValue::get_int(std::string_view key,
+                                std::int64_t fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_int();
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+bool JsonValue::get_bool(std::string_view key, bool fallback) const {
+  const JsonValue* v = get(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += scalar_; break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(scalar_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : elems_) {
+        if (!first) out += ',';
+        first = false;
+        e.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
 }
 
 }  // namespace g80

@@ -1,16 +1,25 @@
-// Minimal ordered JSON writer for the machine-readable artifacts the repo
-// emits (g80prof kernel reports, Chrome trace-event files, bench output).
+// Minimal ordered JSON support for the machine-readable artifacts the repo
+// emits (g80prof kernel reports, Chrome trace-event files, bench output) and
+// the line-delimited g80serve wire protocol.
 //
-// Deliberately tiny: no DOM, no parsing — callers stream objects/arrays in
-// order and the writer handles quoting, escaping, separators and number
-// formatting.  Misnesting (closing an array as an object, a key outside an
-// object, two keys in a row) throws g80::Error so malformed artifacts can
-// never be written silently.
+// Two halves, both deliberately tiny:
+//   - JsonWriter streams objects/arrays in order and handles quoting,
+//     escaping, separators and number formatting.  Misnesting (closing an
+//     array as an object, a key outside an object, two keys in a row)
+//     throws g80::Error so malformed artifacts can never be written
+//     silently.
+//   - JsonValue is a recursive-descent parsed DOM for the serve protocol's
+//     request/response lines.  Object member order and the exact number
+//     lexemes of the input are preserved, so `dump()` of a document this
+//     repo's JsonWriter produced is byte-identical to the original — the
+//     property the g80serve result cache's bit-exactness checks rely on.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace g80 {
@@ -36,6 +45,12 @@ class JsonWriter {
   // values render as null (JSON has no inf/nan).
   JsonWriter& value(double v);
 
+  // Splices an already-serialized JSON value verbatim (no re-escaping, no
+  // validation).  The g80serve response path uses this to embed a cached
+  // result payload without re-parsing it — which is what keeps cache hits
+  // byte-identical to the cold serialization.
+  JsonWriter& raw(std::string_view serialized_json);
+
   // Convenience: key + value in one call.
   template <class T>
   JsonWriter& kv(std::string_view k, const T& v) {
@@ -54,6 +69,70 @@ class JsonWriter {
   std::vector<Scope> stack_;
   bool need_comma_ = false;
   bool have_key_ = false;
+};
+
+// Parsed JSON document node.  Strings are unescaped; numbers keep both their
+// double value and the original lexeme (see dump()).  Object members stay in
+// input order and duplicate keys are rejected at parse time.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses exactly one JSON value; trailing non-whitespace input, nesting
+  // deeper than 64 levels, and every other malformation throw g80::Error
+  // with the byte offset of the problem.
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; the wrong kind throws g80::Error (fail-fast, like the
+  // writer's misnesting checks).
+  bool as_bool() const;
+  double as_number() const;
+  // as_number rounded to the nearest integer; non-integral values throw so
+  // protocol fields like grid sizes cannot silently truncate.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  // Arrays.
+  std::size_t size() const;  // array element or object member count
+  const JsonValue& at(std::size_t i) const;
+
+  // Objects: get() returns null when the key is absent — the protocol's
+  // optional fields; require() throws naming the missing key.
+  const JsonValue* get(std::string_view key) const;
+  const JsonValue& require(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  // Convenience for optional scalar protocol fields.
+  std::string get_string(std::string_view key, std::string fallback) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  double get_number(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  // Re-serializes the tree: member order preserved, strings re-escaped with
+  // json_escape, numbers emitted as their original input lexeme.  For input
+  // produced by JsonWriter this round-trips byte-identically.
+  std::string dump() const;
+
+ private:
+  friend struct JsonBuilder;  // parser-side access (json.cc)
+
+  void expect(Kind k, const char* what) const;
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string scalar_;  // string value, or the number's input lexeme
+  std::vector<JsonValue> elems_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace g80

@@ -406,4 +406,60 @@ std::string profile_json(const DeviceSpec& spec,
   return w.str();
 }
 
+std::string launch_stats_json(const DeviceSpec& spec,
+                              const LaunchStats& s) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("grid");
+  w.begin_array();
+  w.value(static_cast<std::uint64_t>(s.grid.x));
+  w.value(static_cast<std::uint64_t>(s.grid.y));
+  w.end_array();
+  w.key("block");
+  w.begin_array();
+  w.value(static_cast<std::uint64_t>(s.block.x));
+  w.value(static_cast<std::uint64_t>(s.block.y));
+  w.value(static_cast<std::uint64_t>(s.block.z));
+  w.end_array();
+  w.kv("regs_per_thread", s.regs_per_thread);
+  w.kv("smem_per_block", static_cast<std::uint64_t>(s.smem_per_block));
+
+  w.key("occupancy");
+  w.begin_object();
+  w.kv("blocks_per_sm", s.occupancy.blocks_per_sm);
+  w.kv("active_threads_per_sm", s.occupancy.active_threads_per_sm);
+  w.kv("active_warps_per_sm", s.occupancy.active_warps_per_sm);
+  w.kv("fraction", s.occupancy.fraction(spec));
+  w.kv("limiter", occupancy_limit_name(s.occupancy.limiter));
+  w.end_object();
+
+  w.key("timing");
+  w.begin_object();
+  w.kv("modeled_ms", s.timing.seconds * 1e3);
+  w.kv("total_ms", s.total_seconds(spec) * 1e3);
+  w.kv("gflops", s.timing.gflops);
+  w.kv("dram_gbs", s.timing.dram_gbs);
+  w.kv("waves", s.timing.waves);
+  w.kv("mwp", s.timing.mwp);
+  w.kv("cwp", s.timing.cwp);
+  w.kv("mem_to_compute_ratio", s.timing.mem_to_compute_ratio);
+  w.kv("bottleneck", bottleneck_name(s.timing.bottleneck));
+  w.end_object();
+
+  w.key("sanitizer");
+  w.begin_object();
+  w.kv("findings", static_cast<std::uint64_t>(s.sanitizer.findings.size()));
+  w.kv("blocks_checked", s.sanitizer.blocks_checked);
+  w.end_object();
+
+  w.key("resilience");
+  w.begin_object();
+  w.kv("attempts", s.resilience.attempts);
+  w.kv("fallback_level", s.resilience.fallback_level);
+  w.kv("recovered", s.resilience.recovered);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace g80

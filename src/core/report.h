@@ -48,4 +48,11 @@ std::string scope_report(const DeviceSpec& spec, const scope::Session& session,
 std::string profile_json(const DeviceSpec& spec,
                          const prof::Profiler& profiler);
 
+// Machine-readable form of one launch's LaunchStats: configuration,
+// occupancy, modeled timing, sanitizer finding count and resilience
+// provenance.  Every field is a modeled (deterministic) quantity — no wall
+// clocks — so for a fixed job and device the document is byte-stable, which
+// is what lets the g80serve result cache serve it verbatim on a hit.
+std::string launch_stats_json(const DeviceSpec& spec, const LaunchStats& stats);
+
 }  // namespace g80

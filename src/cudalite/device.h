@@ -28,16 +28,29 @@ class Device;
 // transfers concurrently (each counter is independently monotonic; callers
 // read totals only after synchronizing, so no cross-counter snapshot is
 // needed).
+//
+// Two accounting horizons.  The epoch counters (h2d_bytes & co.) are what
+// reset() zeroes — apps use them to scope the measurement to one phase, and
+// Device::reset() zeroes them as part of tearing execution state down.  The
+// lifetime counters keep accumulating across every reset: they are the
+// billing-grade totals g80serve's per-client accounting reads, so fault
+// recovery (watchdog -> Device::reset -> relaunch) can never erase a
+// client's transfer history (docs/serving.md, "Accounting").
 class TransferLedger {
  public:
   void record_h2d(std::uint64_t bytes) {
     h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     h2d_count_.fetch_add(1, std::memory_order_relaxed);
+    lifetime_h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    lifetime_h2d_count_.fetch_add(1, std::memory_order_relaxed);
   }
   void record_d2h(std::uint64_t bytes) {
     d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     d2h_count_.fetch_add(1, std::memory_order_relaxed);
+    lifetime_d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    lifetime_d2h_count_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Starts a new epoch; lifetime totals are preserved.
   void reset() {
     h2d_bytes_ = 0;
     d2h_bytes_ = 0;
@@ -45,6 +58,7 @@ class TransferLedger {
     d2h_count_ = 0;
   }
 
+  // --- Current epoch (since construction or the last reset) ---
   std::uint64_t h2d_bytes() const { return h2d_bytes_.load(); }
   std::uint64_t d2h_bytes() const { return d2h_bytes_.load(); }
   std::uint64_t total_bytes() const { return h2d_bytes() + d2h_bytes(); }
@@ -52,13 +66,29 @@ class TransferLedger {
     return h2d_count_.load() + d2h_count_.load();
   }
 
+  // --- Lifetime (survives reset() and Device::reset()) ---
+  std::uint64_t lifetime_h2d_bytes() const { return lifetime_h2d_bytes_.load(); }
+  std::uint64_t lifetime_d2h_bytes() const { return lifetime_d2h_bytes_.load(); }
+  std::uint64_t lifetime_total_bytes() const {
+    return lifetime_h2d_bytes() + lifetime_d2h_bytes();
+  }
+  std::uint64_t lifetime_transfer_count() const {
+    return lifetime_h2d_count_.load() + lifetime_d2h_count_.load();
+  }
+
   double seconds(const DeviceSpec& spec) const {
     return transfer_seconds(spec, total_bytes(), transfer_count());
+  }
+  double lifetime_seconds(const DeviceSpec& spec) const {
+    return transfer_seconds(spec, lifetime_total_bytes(),
+                            lifetime_transfer_count());
   }
 
  private:
   std::atomic<std::uint64_t> h2d_bytes_{0}, d2h_bytes_{0};
   std::atomic<std::uint64_t> h2d_count_{0}, d2h_count_{0};
+  std::atomic<std::uint64_t> lifetime_h2d_bytes_{0}, lifetime_d2h_bytes_{0};
+  std::atomic<std::uint64_t> lifetime_h2d_count_{0}, lifetime_d2h_count_{0};
 };
 
 // A typed span of device memory.  Element types must be trivially copyable
@@ -189,9 +219,11 @@ class Device {
   // --- Recovery semantics (g80resil, cudaDeviceReset-style) ---
   // Tears the device back down to its post-construction state: runs every
   // registered reset hook (g80rt registers one that drains its streams and
-  // clears their sticky async errors), clears the sticky Status, resets the
-  // TransferLedger, and releases the whole device address space (allocation
-  // cursor and constant-space budget return to zero).
+  // clears their sticky async errors), clears the sticky Status, starts a
+  // new TransferLedger epoch (the ledger's lifetime totals survive, so
+  // serve-side per-client accounting is never erased by fault recovery),
+  // and releases the whole device address space (allocation cursor and
+  // constant-space budget return to zero).
   //
   // Like cudaDeviceReset, this invalidates every outstanding DeviceBuffer /
   // ConstantBuffer / Texture1D handed out by this device: their backing

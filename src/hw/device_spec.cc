@@ -1,7 +1,6 @@
 #include "hw/device_spec.h"
 
-#include <cinttypes>
-#include <cstdio>
+#include "common/content_hash.h"
 
 namespace g80 {
 
@@ -53,44 +52,19 @@ DeviceSpec DeviceSpec::geforce_8800_gts() {
   return s;
 }
 
-namespace {
-
-// FNV-1a, fed with deterministically formatted fields: doubles go through a
-// fixed "%.17g" so equal values always hash equally, and every field is
-// terminated with a separator so adjacent fields cannot alias.
-struct Fnv {
-  std::uint64_t h = 14695981039346656037ull;
-
-  void bytes(const char* p) {
-    for (; *p != '\0'; ++p) {
-      h ^= static_cast<unsigned char>(*p);
-      h *= 1099511628211ull;
-    }
-    h ^= 0xff;  // field separator
-    h *= 1099511628211ull;
-  }
-  void str(const std::string& s) { bytes(s.c_str()); }
-  void i(std::int64_t v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%" PRId64, v);
-    bytes(buf);
-  }
-  void u(std::uint64_t v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
-    bytes(buf);
-  }
-  void d(double v) {
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    bytes(buf);
-  }
-};
-
-}  // namespace
-
+// Canonicalized-field FNV-1a via common/content_hash.h; the field order
+// below is the hash's definition.  The golden values pinned in
+// tests/content_hash_test.cc (and embedded in every checked-in bench
+// baseline's provenance) change whenever a field is added, removed, or
+// reordered — which is exactly when cached results stop being comparable.
 std::uint64_t device_spec_hash(const DeviceSpec& s) {
-  Fnv f;
+  struct Feed {
+    ContentHasher h;
+    void str(const std::string& v) { h.str(v); }
+    void i(std::int64_t v) { h.i64(v); }
+    void u(std::uint64_t v) { h.u64(v); }
+    void d(double v) { h.f64(v); }
+  } f;
   f.str(s.name);
   f.i(s.num_sms);
   f.i(s.sps_per_sm);
@@ -123,7 +97,7 @@ std::uint64_t device_spec_hash(const DeviceSpec& s) {
   f.d(s.texture_hit_latency_cycles);
   f.d(s.pcie_bandwidth_gbs);
   f.d(s.pcie_latency_us);
-  return f.h;
+  return f.h.digest();
 }
 
 }  // namespace g80

@@ -1,0 +1,122 @@
+#include "serve/cache.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/str.h"
+
+namespace g80::serve {
+
+ResultCache::ResultCache(std::size_t max_entries, std::string disk_dir)
+    : max_entries_(max_entries == 0 ? 1 : max_entries),
+      disk_dir_(std::move(disk_dir)) {}
+
+std::string ResultCache::disk_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016" PRIx64 ".json", key);
+  return cat(disk_dir_, "/", name);
+}
+
+void ResultCache::touch(std::uint64_t key) {
+  auto it = mem_.find(key);
+  lru_.erase(it->second.pos);
+  lru_.push_front(key);
+  it->second.pos = lru_.begin();
+}
+
+ResultCache::Tier ResultCache::lookup(std::uint64_t key,
+                                      std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = mem_.find(key); it != mem_.end()) {
+    payload = it->second.payload;
+    touch(key);
+    ++counters_.mem_hits;
+    return Tier::kMemory;
+  }
+  if (!disk_dir_.empty()) {
+    if (std::FILE* f = std::fopen(disk_path(key).c_str(), "rb")) {
+      std::string data;
+      char chunk[4096];
+      std::size_t got;
+      while ((got = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+        data.append(chunk, got);
+      }
+      const bool ok = std::ferror(f) == 0;
+      std::fclose(f);
+      if (ok && !data.empty()) {
+        payload = data;
+        ++counters_.disk_hits;
+        // Promote to memory so repeats hit the fast tier.
+        lru_.push_front(key);
+        mem_[key] = Entry{std::move(data), lru_.begin()};
+        while (mem_.size() > max_entries_) {
+          mem_.erase(lru_.back());
+          lru_.pop_back();
+          ++counters_.evictions;
+        }
+        return Tier::kDisk;
+      }
+    }
+  }
+  ++counters_.misses;
+  return Tier::kMiss;
+}
+
+void ResultCache::store(std::uint64_t key, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.stores;
+  if (auto it = mem_.find(key); it != mem_.end()) {
+    touch(key);
+    return;  // deterministic results: same key implies same payload
+  }
+  lru_.push_front(key);
+  mem_[key] = Entry{payload, lru_.begin()};
+  while (mem_.size() > max_entries_) {
+    mem_.erase(lru_.back());
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+
+  if (disk_dir_.empty()) return;
+  if (!disk_dir_ready_) {
+    if (::mkdir(disk_dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw Error(cat("g80serve cache: mkdir ", disk_dir_, ": ",
+                      std::strerror(errno)));
+    }
+    disk_dir_ready_ = true;
+  }
+  // temp + rename: a crash mid-write leaves a stale .tmp, never a truncated
+  // entry a later lookup could serve.
+  const std::string final_path = disk_path(key);
+  const std::string tmp_path = cat(final_path, ".tmp");
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error(cat("g80serve cache: open ", tmp_path, ": ",
+                    std::strerror(errno)));
+  }
+  const bool wrote =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw Error(cat("g80serve cache: write ", final_path, " failed"));
+  }
+}
+
+CacheCounters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t ResultCache::mem_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mem_.size();
+}
+
+}  // namespace g80::serve

@@ -1,0 +1,81 @@
+// g80serve exact result cache.
+//
+// Simulated launches are deterministic: the same (kernel, parameters,
+// resolved launch config, device spec, model version) always produces the
+// same result payload, byte for byte.  The cache therefore stores the
+// payload's exact serialization and a hit is *definitionally* bit-identical
+// to re-simulating — bench/serve_loadtest.cc asserts this end to end.
+//
+// Two tiers share one key space (the ContentHasher digest from
+// job_cache_key):
+//   - an in-memory LRU map bounded by max_entries;
+//   - an optional on-disk store (one "<key>.json" file per entry, written
+//     via temp-file + rename so readers never observe a partial payload).
+// A disk hit is promoted into memory.  Keys embed kModelVersion and the
+// device-spec content hash, so entries written by an older model or for a
+// different device simply miss.  Errors are never cached — only payloads
+// from successful jobs enter the cache (the scheduler enforces this).
+//
+// Thread safety: every public method is safe to call from any session or
+// scheduler thread; one mutex guards both tiers (disk IO happens under it —
+// payloads are small and correctness beats concurrency here).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace g80::serve {
+
+struct CacheCounters {
+  std::uint64_t mem_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t hits() const { return mem_hits + disk_hits; }
+  std::uint64_t lookups() const { return hits() + misses; }
+};
+
+class ResultCache {
+ public:
+  // `disk_dir` empty disables the disk tier; otherwise the directory is
+  // created on first store.  max_entries bounds only the memory tier.
+  explicit ResultCache(std::size_t max_entries = 1024,
+                       std::string disk_dir = "");
+
+  enum class Tier { kMiss, kMemory, kDisk };
+
+  // Fills `payload` and returns the serving tier on a hit (memory first,
+  // then disk, promoting disk hits); returns kMiss otherwise.
+  Tier lookup(std::uint64_t key, std::string& payload);
+
+  // Inserts into both tiers, evicting the LRU memory entry beyond capacity.
+  // Idempotent: re-storing an existing key refreshes recency only.
+  void store(std::uint64_t key, const std::string& payload);
+
+  CacheCounters counters() const;
+  std::size_t mem_entries() const;
+
+ private:
+  std::string disk_path(std::uint64_t key) const;
+  void touch(std::uint64_t key);  // move to MRU position; lock held
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::string disk_dir_;
+  bool disk_dir_ready_ = false;
+  // LRU order, most recent at the front; map values point into the list.
+  std::list<std::uint64_t> lru_;
+  struct Entry {
+    std::string payload;
+    std::list<std::uint64_t>::iterator pos;
+  };
+  std::unordered_map<std::uint64_t, Entry> mem_;
+  CacheCounters counters_;
+};
+
+}  // namespace g80::serve

@@ -1,0 +1,72 @@
+#include "serve/client.h"
+
+#include "common/str.h"
+
+namespace g80::serve {
+
+Client::Client(const std::string& socket_path, const std::string& client_name)
+    : sock_(connect_unix(socket_path)) {
+  if (!client_name.empty()) {
+    JobRequest hello;
+    hello.op = Op::kHello;
+    hello.client_name = client_name;
+    const Response r = call(hello);
+    if (!r.ok()) {
+      throw Error(cat("g80serve: hello rejected: ", r.error));
+    }
+    session_id_ = static_cast<std::uint64_t>(
+        r.doc.require("result").get_int("session", 0));
+  }
+}
+
+Response Client::read_response() {
+  std::string line;
+  if (!sock_.read_line(line)) {
+    throw Error("g80serve: server closed the connection");
+  }
+  Response r;
+  r.doc = JsonValue::parse(line);
+  r.id = r.doc.get_int("id", 0);
+  r.status = status_from_token(r.doc.require("status").as_string());
+  r.error = r.doc.get_string("error", "");
+  r.source = r.doc.get_string("source", "");
+  if (const JsonValue* result = r.doc.get("result")) {
+    r.result_json = result->dump();
+  }
+  return r;
+}
+
+Response Client::wait_for(std::int64_t id) {
+  if (auto it = pending_.find(id); it != pending_.end()) {
+    Response r = std::move(it->second);
+    pending_.erase(it);
+    return r;
+  }
+  for (;;) {
+    Response r = read_response();
+    if (r.id == id) return r;
+    pending_[r.id] = std::move(r);
+  }
+}
+
+Response Client::call(JobRequest req) {
+  if (req.id == 0) req.id = next_id_++;
+  const std::int64_t id = req.id;
+  sock_.write_line(encode_request(req));
+  return wait_for(id);
+}
+
+std::int64_t Client::send(JobRequest req) {
+  if (req.id == 0) req.id = next_id_++;
+  sock_.write_line(encode_request(req));
+  return req.id;
+}
+
+Response Client::recv(std::int64_t id) { return wait_for(id); }
+
+Response Client::call_raw(const std::string& line) {
+  sock_.write_line(line);
+  return read_response();
+}
+
+}  // namespace g80::serve

@@ -1,0 +1,65 @@
+// g80serve client library: a thin, blocking wrapper over the line protocol.
+//
+// One Client == one session on the daemon.  call() is the simple
+// request/response path; send()/recv() expose pipelining (multiple requests
+// in flight on one connection, responses matched by id) for the soak and
+// backpressure tests.  Not thread-safe — a Client belongs to one thread,
+// which is exactly the loadtest's one-client-per-session-thread shape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+#include "serve/protocol.h"
+
+namespace g80::serve {
+
+struct Response {
+  std::int64_t id = 0;
+  Status status = Status::kSuccess;
+  std::string error;        // filled when status != kSuccess
+  std::string source;       // "sim" | "cache_mem" | "cache_disk" | ""
+  // Exact serialization of the response's `result` object ("" on errors).
+  // For job responses this is the cache unit: byte-identical between a cold
+  // simulation and every later cache hit of the same job.
+  std::string result_json;
+  JsonValue doc;  // the full parsed response line
+
+  bool ok() const { return status == Status::kSuccess; }
+};
+
+class Client {
+ public:
+  // Connects to a g80served socket; sends a hello naming the session when
+  // `client_name` is non-empty.  Throws g80::Error if the daemon is absent.
+  explicit Client(const std::string& socket_path,
+                  const std::string& client_name = "");
+
+  // Sends `req` (assigning the next id if req.id == 0) and blocks for its
+  // response.  Other ids arriving first — pipelined traffic — are buffered.
+  Response call(JobRequest req);
+
+  // Pipelined path: send returns the assigned id immediately; recv blocks
+  // for that id's response.
+  std::int64_t send(JobRequest req);
+  Response recv(std::int64_t id);
+
+  // Sends a raw request line verbatim and returns the next response
+  // (protocol-error testing).
+  Response call_raw(const std::string& line);
+
+  std::uint64_t session_id() const { return session_id_; }
+
+ private:
+  Response read_response();
+  Response wait_for(std::int64_t id);
+
+  LineSocket sock_;
+  std::int64_t next_id_ = 1;
+  std::uint64_t session_id_ = 0;
+  std::map<std::int64_t, Response> pending_;  // out-of-order arrivals
+};
+
+}  // namespace g80::serve

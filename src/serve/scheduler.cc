@@ -1,0 +1,144 @@
+#include "serve/scheduler.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/str.h"
+#include "cudalite/device.h"
+
+namespace g80::serve {
+
+namespace {
+
+struct Job {
+  JobRequest req;
+  Scheduler::Callback done;
+};
+
+struct ClassQueue {
+  std::deque<Job> jobs;
+  int slots = 0;
+};
+
+}  // namespace
+
+struct Scheduler::Impl {
+  explicit Impl(PoolConfig cfg) : cfg(cfg) {
+    queues["gtx"].slots = cfg.gtx_slots;
+    queues["ultra"].slots = cfg.ultra_slots;
+    queues["gts"].slots = cfg.gts_slots;
+    for (const auto& [cls, q] : queues) {
+      for (int i = 0; i < q.slots; ++i) {
+        workers.emplace_back([this, cls = cls] { worker_loop(cls); });
+      }
+    }
+  }
+
+  void worker_loop(const std::string& cls) {
+    Device dev(spec_for_class(cls));
+    ClassQueue& q = queues.at(cls);
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stopping || !q.jobs.empty(); });
+        if (q.jobs.empty()) return;  // stopping and drained
+        job = std::move(q.jobs.front());
+        q.jobs.pop_front();
+        ++stats_.running;
+      }
+      JobOutcome out = run_job(dev, job.req, cfg.policy);
+      if (out.status != Status::kSuccess) {
+        // Cross-session isolation: tear the device down to a pristine state
+        // before the next session's job binds to this slot.  Drain the
+        // sticky error too — run_job already reported it.
+        dev.get_last_error();
+        dev.reset();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --stats_.running;
+        if (out.status == Status::kSuccess) {
+          ++stats_.jobs_ok;
+        } else {
+          ++stats_.jobs_failed;
+          ++stats_.device_resets;
+        }
+      }
+      job.done(out);
+    }
+  }
+
+  PoolConfig cfg;
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool stopping = false;
+  std::map<std::string, ClassQueue> queues;
+  std::vector<std::thread> workers;
+  SchedulerStats stats_;
+};
+
+Scheduler::Scheduler(PoolConfig cfg) : impl_(std::make_unique<Impl>(cfg)) {}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::submit(const JobRequest& req, Callback done) {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.stopping) {
+      throw StatusError(Status::kNotReady, "scheduler is shutting down");
+    }
+    auto it = im.queues.find(req.device_class);
+    if (it == im.queues.end() || it->second.slots == 0) {
+      throw StatusError(Status::kInvalidValue,
+                        cat("no device slots for class \"", req.device_class,
+                            "\""));
+    }
+    if (it->second.jobs.size() >= im.cfg.max_queue_depth) {
+      ++im.stats_.rejected_not_ready;
+      throw StatusError(Status::kNotReady,
+                        cat("queue for \"", req.device_class, "\" is full (",
+                            im.cfg.max_queue_depth, " jobs)"));
+    }
+    it->second.jobs.push_back(Job{req, std::move(done)});
+  }
+  im.cv.notify_all();
+}
+
+void Scheduler::stop() {
+  Impl& im = *impl_;
+  std::vector<Job> orphans;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.stopping) return;
+    im.stopping = true;
+    for (auto& [cls, q] : im.queues) {
+      for (auto& job : q.jobs) orphans.push_back(std::move(job));
+      q.jobs.clear();
+    }
+  }
+  im.cv.notify_all();
+  for (auto& t : im.workers) t.join();
+  im.workers.clear();
+  JobOutcome rejected;
+  rejected.status = Status::kNotReady;
+  rejected.error = "scheduler stopped before the job ran";
+  for (auto& job : orphans) job.done(rejected);
+}
+
+SchedulerStats Scheduler::stats() const {
+  const Impl& im = *impl_;
+  std::lock_guard<std::mutex> lock(im.mu);
+  SchedulerStats s = im.stats_;
+  s.slots = im.cfg.total_slots();
+  s.queue_depth = 0;
+  for (const auto& [cls, q] : im.queues) s.queue_depth += q.jobs.size();
+  return s;
+}
+
+}  // namespace g80::serve

@@ -1,0 +1,94 @@
+// g80serve device-pool scheduler.
+//
+// The daemon owns a fixed pool of simulated devices — so many GTX, Ultra
+// and GTS slots — and this scheduler binds queued jobs to them.  One worker
+// thread owns each slot's Device for its whole lifetime (no device ever
+// migrates between threads), pulling jobs from its device class's FIFO.
+//
+// Isolation is the point of the design:
+//   - every job runs under the pool's ResiliencePolicy (wall watchdog,
+//     bounded retries), so a wedged or slow job cannot hold a slot forever;
+//   - after any failed job the slot's Device is reset() and its sticky
+//     error drained before the next job binds, so one session's
+//     programming-model violation can never leak status — or execution
+//     state — into another session's job (the `robust` soak test asserts
+//     this end to end);
+//   - admission control is queue-depth backpressure: submit() rejects with
+//     StatusError(kNotReady) once a class's queue is full, instead of
+//     letting latency grow without bound.
+//
+// Completion is callback-based (invoked on the worker thread) so the
+// session layer can pipeline: a connection keeps reading requests while its
+// earlier jobs are still queued or running.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "resil/policy.h"
+#include "serve/kernels.h"
+
+namespace g80::serve {
+
+struct PoolConfig {
+  // Device slots per class; 0 removes the class from the pool (jobs for it
+  // are rejected with kInvalidValue at submit).
+  int gtx_slots = 2;
+  int ultra_slots = 1;
+  int gts_slots = 1;
+  // Maximum *queued* (not yet running) jobs per device class before
+  // submit() pushes back with kNotReady.
+  std::size_t max_queue_depth = 64;
+  // Applied to every job; the default arms a generous wall watchdog so a
+  // pathological job frees its slot rather than wedging it.
+  ResiliencePolicy policy = [] {
+    ResiliencePolicy p;
+    p.enabled = true;
+    p.wall_timeout_s = 30.0;
+    p.max_retries = 1;
+    p.backoff_initial_s = 0;  // deterministic retries need no pacing
+    return p;
+  }();
+
+  int total_slots() const { return gtx_slots + ultra_slots + gts_slots; }
+};
+
+struct SchedulerStats {
+  std::uint64_t jobs_ok = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t device_resets = 0;
+  std::uint64_t rejected_not_ready = 0;
+  std::size_t queue_depth = 0;  // queued across all classes, excl. running
+  int running = 0;
+  int slots = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(PoolConfig cfg);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  using Callback = std::function<void(const JobOutcome&)>;
+
+  // Enqueues `req` for its device class; `done` runs exactly once, on the
+  // slot's worker thread.  Throws StatusError(kNotReady) when the class
+  // queue is at max_queue_depth and StatusError(kInvalidValue) for a class
+  // with no slots — in both cases `done` is NOT invoked.
+  void submit(const JobRequest& req, Callback done);
+
+  // Stops accepting work, fails queued jobs with kNotReady, joins workers.
+  // Idempotent.
+  void stop();
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace g80::serve

@@ -1,0 +1,75 @@
+// g80servectl — command-line client for a running g80served.
+//
+//   g80servectl SOCKET ping
+//   g80servectl SOCKET stats
+//   g80servectl SOCKET shutdown
+//   g80servectl SOCKET launch|autotune|profile kernel=saxpy n=65536 \
+//       [seed=N] [tile=N] [variant=NAME] [device_class=gtx|ultra|gts] \
+//       [fault=KIND] [no_cache=1]
+//
+// Prints the response line (the full JSON document) to stdout; exits 0 when
+// the response status is ok, 1 otherwise.  The runbook half of
+// docs/serving.md is written in terms of this tool.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+#include "serve/client.h"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: g80servectl SOCKET ping|stats|shutdown|launch|autotune|"
+               "profile [key=value ...]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string socket_path = argv[1];
+  const std::string op = argv[2];
+
+  try {
+    g80::serve::JobRequest req;
+    req.op = g80::serve::op_from_name(op);
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) usage();
+      const std::string key = arg.substr(0, eq);
+      const std::string value = arg.substr(eq + 1);
+      if (key == "kernel") {
+        req.kernel = value;
+      } else if (key == "n") {
+        req.n = std::atoll(value.c_str());
+      } else if (key == "seed") {
+        req.seed = std::atoll(value.c_str());
+      } else if (key == "tile") {
+        req.tile = std::atoll(value.c_str());
+      } else if (key == "variant") {
+        req.variant = value;
+      } else if (key == "device_class") {
+        req.device_class = value;
+      } else if (key == "fault") {
+        req.fault.kind = value;
+      } else if (key == "no_cache") {
+        req.no_cache = value != "0";
+      } else {
+        usage();
+      }
+    }
+
+    g80::serve::Client client(socket_path, "g80servectl");
+    const g80::serve::Response r = client.call(req);
+    std::printf("%s\n", r.doc.dump().c_str());
+    return r.ok() ? 0 : 1;
+  } catch (const g80::Error& e) {
+    std::fprintf(stderr, "g80servectl: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,118 @@
+// g80served — the g80serve daemon.
+//
+//   g80served --socket /tmp/g80served.sock [--cache-dir DIR]
+//             [--gtx N] [--ultra N] [--gts N]
+//             [--max-queue N] [--max-inflight N] [--cache-entries N]
+//
+// Prints one "listening" line to stdout once the socket is ready (scripts
+// wait for it), then serves until a client issues `shutdown` or the process
+// receives SIGINT/SIGTERM.  Exits 0 on a clean shutdown with a final stats
+// summary on stdout.  docs/serving.md is the ops runbook.
+#include <signal.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "serve/server.h"
+
+namespace {
+
+int g_shutdown_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  // write() is async-signal-safe; the watcher thread does the real work.
+  [[maybe_unused]] const ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--cache-dir DIR] [--gtx N] "
+               "[--ultra N] [--gts N] [--max-queue N] [--max-inflight N] "
+               "[--cache-entries N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g80::serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/g80served.sock";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      cfg.socket_path = next();
+    } else if (arg == "--cache-dir") {
+      cfg.cache_dir = next();
+    } else if (arg == "--gtx") {
+      cfg.pool.gtx_slots = std::atoi(next());
+    } else if (arg == "--ultra") {
+      cfg.pool.ultra_slots = std::atoi(next());
+    } else if (arg == "--gts") {
+      cfg.pool.gts_slots = std::atoi(next());
+    } else if (arg == "--max-queue") {
+      cfg.pool.max_queue_depth = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--max-inflight") {
+      cfg.max_inflight_per_session = std::atoi(next());
+    } else if (arg == "--cache-entries") {
+      cfg.cache_entries = static_cast<std::size_t>(std::atoi(next()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    g80::serve::Server server(cfg);
+    server.start();
+    std::printf("g80served listening on %s (gtx=%d ultra=%d gts=%d)\n",
+                cfg.socket_path.c_str(), cfg.pool.gtx_slots,
+                cfg.pool.ultra_slots, cfg.pool.gts_slots);
+    std::fflush(stdout);
+
+    if (::pipe(g_shutdown_pipe) != 0) {
+      std::fprintf(stderr, "g80served: pipe: %s\n", std::strerror(errno));
+      return 1;
+    }
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::thread signal_watcher([&server] {
+      char byte;
+      if (::read(g_shutdown_pipe[0], &byte, 1) > 0) {
+        server.request_shutdown();
+      }
+    });
+
+    server.wait();
+    server.shutdown();
+    // Unblock the watcher if shutdown came from a client instead of a
+    // signal, then join it.
+    on_signal(0);
+    signal_watcher.join();
+
+    const auto ss = server.scheduler_stats();
+    const auto cc = server.cache_counters();
+    std::printf(
+        "g80served: %llu sessions, %llu jobs ok, %llu failed, cache %llu "
+        "hits / %llu misses\n",
+        static_cast<unsigned long long>(server.sessions_accepted()),
+        static_cast<unsigned long long>(ss.jobs_ok),
+        static_cast<unsigned long long>(ss.jobs_failed),
+        static_cast<unsigned long long>(cc.hits()),
+        static_cast<unsigned long long>(cc.misses));
+    return 0;
+  } catch (const g80::Error& e) {
+    std::fprintf(stderr, "g80served: %s\n", e.what());
+    return 1;
+  }
+}

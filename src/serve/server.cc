@@ -1,0 +1,391 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/str.h"
+#include "cudalite/device.h"
+#include "hw/device_spec.h"
+#include "serve/protocol.h"
+
+namespace g80::serve {
+
+namespace {
+
+// One connected client.  Owned by shared_ptr: the session thread holds one
+// reference and every in-flight scheduler callback holds another, so the
+// socket and counters outlive whichever finishes last.
+struct Session {
+  Session(std::uint64_t id, int fd) : id(id), sock(fd) {}
+
+  const std::uint64_t id;
+  LineSocket sock;
+
+  std::mutex write_mu;  // serializes response lines from all threads
+
+  std::atomic<int> in_flight{0};  // queued + running jobs of this session
+
+  // Remaining state is touched by the session thread and worker callbacks;
+  // stats_mu guards it.
+  std::mutex stats_mu;
+  std::string name;
+  std::uint64_t jobs_ok = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t cache_hits = 0;
+  Status last_status = Status::kSuccess;
+  TransferLedger ledger;  // per-client transfer accounting
+
+  void write_response(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    sock.write_line(line);
+  }
+};
+
+std::string error_response(std::int64_t id, Status s, std::string_view msg) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", static_cast<std::uint64_t>(id));
+  w.kv("status", status_token(s));
+  w.kv("error", msg);
+  w.end_object();
+  return w.str();
+}
+
+std::string ok_response(std::int64_t id, std::string_view source,
+                        std::string_view result_payload) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("id", static_cast<std::uint64_t>(id));
+  w.kv("status", "ok");
+  if (!source.empty()) w.kv("source", source);
+  w.key("result");
+  w.raw(result_payload);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerConfig cfg)
+      : cfg(std::move(cfg)),
+        cache(this->cfg.cache_entries, this->cfg.cache_dir),
+        sched(this->cfg.pool) {}
+
+  void accept_loop() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // listener shut down
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (stop_requested) {
+        ::close(fd);
+        return;
+      }
+      auto session = std::make_shared<Session>(next_session_id++, fd);
+      ++accepted;
+      sessions.push_back(session);
+      session_threads.emplace_back(
+          [this, session] { session_loop(session); });
+    }
+  }
+
+  void session_loop(std::shared_ptr<Session> s) {
+    std::string line;
+    for (;;) {
+      try {
+        if (!s->sock.read_line(line)) break;
+      } catch (const Error&) {
+        break;  // mid-line EOF or socket reset
+      }
+      if (line.empty()) continue;
+      handle_line(s, line);
+      if (stopping_after_response) break;
+    }
+  }
+
+  void handle_line(const std::shared_ptr<Session>& s, const std::string& line) {
+    std::int64_t id = 0;
+    try {
+      const JsonValue doc = JsonValue::parse(line);
+      if (doc.is_object()) id = doc.get_int("id", 0);
+      const JobRequest req = parse_request(doc);
+      id = req.id;
+      switch (req.op) {
+        case Op::kPing: {
+          JsonWriter w;
+          w.begin_object();
+          w.kv("pong", true);
+          w.kv("protocol_version", kProtocolVersion);
+          w.end_object();
+          s->write_response(ok_response(id, "", w.str()));
+          return;
+        }
+        case Op::kHello: {
+          {
+            std::lock_guard<std::mutex> lock(s->stats_mu);
+            s->name = req.client_name;
+          }
+          JsonWriter w;
+          w.begin_object();
+          w.kv("session", s->id);
+          w.kv("protocol_version", kProtocolVersion);
+          w.kv("model_version", kModelVersion);
+          w.end_object();
+          s->write_response(ok_response(id, "", w.str()));
+          return;
+        }
+        case Op::kStats:
+          s->write_response(ok_response(id, "", stats_payload(s)));
+          return;
+        case Op::kShutdown: {
+          JsonWriter w;
+          w.begin_object();
+          w.kv("stopping", true);
+          w.end_object();
+          s->write_response(ok_response(id, "", w.str()));
+          stopping_after_response = true;
+          request_shutdown();
+          return;
+        }
+        case Op::kLaunch:
+        case Op::kAutotune:
+        case Op::kProfile:
+          dispatch_job(s, req);
+          return;
+      }
+    } catch (const StatusError& e) {
+      note_session_error(s, e.status());
+      try {
+        s->write_response(error_response(id, e.status(), e.what()));
+      } catch (const Error&) {
+      }
+    } catch (const Error& e) {
+      note_session_error(s, Status::kInvalidValue);
+      try {
+        s->write_response(error_response(id, Status::kInvalidValue, e.what()));
+      } catch (const Error&) {
+      }
+    }
+  }
+
+  void dispatch_job(const std::shared_ptr<Session>& s, const JobRequest& req) {
+    // Pure validation + key derivation before any device is involved.
+    const DeviceSpec spec = spec_for_class(req.device_class);
+    const LaunchConfig resolved = resolve_config(req);
+    const std::uint64_t key = job_cache_key(req, resolved,
+                                            device_spec_hash(spec));
+
+    // Fault jobs exist to fail; no_cache jobs opted out.  Neither consults
+    // the cache, and their outcomes never enter it.
+    const bool cacheable = !req.no_cache && !req.fault.enabled();
+    if (cacheable) {
+      std::string payload;
+      const ResultCache::Tier tier = cache.lookup(key, payload);
+      if (tier != ResultCache::Tier::kMiss) {
+        {
+          std::lock_guard<std::mutex> lock(s->stats_mu);
+          ++s->cache_hits;
+          ++s->jobs_ok;
+        }
+        s->write_response(ok_response(
+            req.id,
+            tier == ResultCache::Tier::kMemory ? "cache_mem" : "cache_disk",
+            payload));
+        return;
+      }
+    }
+
+    // Per-session admission: reject, don't queue, past the in-flight cap.
+    // (fetch_add + re-check keeps concurrent pipelined requests honest.)
+    if (s->in_flight.fetch_add(1) >= cfg.max_inflight_per_session) {
+      s->in_flight.fetch_sub(1);
+      throw StatusError(Status::kNotReady,
+                        cat("session has ", cfg.max_inflight_per_session,
+                            " jobs in flight"));
+    }
+    const std::int64_t id = req.id;
+    try {
+      sched.submit(req, [this, s, id, key, cacheable](const JobOutcome& out) {
+        s->in_flight.fetch_sub(1);
+        {
+          std::lock_guard<std::mutex> lock(s->stats_mu);
+          if (out.status == Status::kSuccess) {
+            ++s->jobs_ok;
+          } else {
+            ++s->jobs_failed;
+            s->last_status = out.status;
+          }
+          if (out.h2d_bytes > 0) s->ledger.record_h2d(out.h2d_bytes);
+          if (out.d2h_bytes > 0) s->ledger.record_d2h(out.d2h_bytes);
+        }
+        if (out.status == Status::kSuccess && cacheable) {
+          cache.store(key, out.payload);
+        }
+        try {
+          if (out.status == Status::kSuccess) {
+            s->write_response(ok_response(id, "sim", out.payload));
+          } else {
+            s->write_response(error_response(id, out.status, out.error));
+          }
+        } catch (const Error&) {
+          // Session hung up before its job finished; nothing to tell it.
+        }
+      });
+    } catch (...) {
+      s->in_flight.fetch_sub(1);
+      throw;
+    }
+  }
+
+  std::string stats_payload(const std::shared_ptr<Session>& s) {
+    const CacheCounters cc = cache.counters();
+    const SchedulerStats ss = sched.stats();
+    JsonWriter w;
+    w.begin_object();
+    w.key("server");
+    w.begin_object();
+    w.kv("sessions_accepted", accepted.load());
+    w.kv("slots", ss.slots);
+    w.kv("running", ss.running);
+    w.kv("queue_depth", static_cast<std::uint64_t>(ss.queue_depth));
+    w.kv("jobs_ok", ss.jobs_ok);
+    w.kv("jobs_failed", ss.jobs_failed);
+    w.kv("device_resets", ss.device_resets);
+    w.kv("rejected_not_ready", ss.rejected_not_ready);
+    w.key("cache");
+    w.begin_object();
+    w.kv("mem_hits", cc.mem_hits);
+    w.kv("disk_hits", cc.disk_hits);
+    w.kv("misses", cc.misses);
+    w.kv("stores", cc.stores);
+    w.kv("evictions", cc.evictions);
+    w.kv("mem_entries", static_cast<std::uint64_t>(cache.mem_entries()));
+    w.end_object();
+    w.end_object();
+    w.key("session");
+    w.begin_object();
+    std::lock_guard<std::mutex> lock(s->stats_mu);
+    w.kv("id", s->id);
+    w.kv("client", s->name);
+    w.kv("in_flight", s->in_flight.load());
+    w.kv("jobs_ok", s->jobs_ok);
+    w.kv("jobs_failed", s->jobs_failed);
+    w.kv("cache_hits", s->cache_hits);
+    w.kv("last_status", status_token(s->last_status));
+    w.kv("h2d_bytes", s->ledger.lifetime_h2d_bytes());
+    w.kv("d2h_bytes", s->ledger.lifetime_d2h_bytes());
+    w.end_object();
+    w.end_object();
+    return w.str();
+  }
+
+  void note_session_error(const std::shared_ptr<Session>& s, Status st) {
+    std::lock_guard<std::mutex> lock(s->stats_mu);
+    ++s->jobs_failed;
+    s->last_status = st;
+  }
+
+  void request_shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop_requested = true;
+    }
+    cv.notify_all();
+  }
+
+  ServerConfig cfg;
+  ResultCache cache;
+  Scheduler sched;
+
+  int listen_fd = -1;
+  std::thread accept_thread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop_requested = false;
+  bool torn_down = false;
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<std::thread> session_threads;
+  std::uint64_t next_session_id = 1;
+  std::atomic<std::uint64_t> accepted{0};
+  // Set by the shutdown op's session so its loop exits after responding.
+  thread_local static bool stopping_after_response;
+};
+
+thread_local bool Server::Impl::stopping_after_response = false;
+
+Server::Server(ServerConfig cfg) : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  Impl& im = *impl_;
+  im.listen_fd = listen_unix(im.cfg.socket_path);
+  im.accept_thread = std::thread([&im] { im.accept_loop(); });
+}
+
+void Server::wait() {
+  Impl& im = *impl_;
+  std::unique_lock<std::mutex> lock(im.mu);
+  im.cv.wait(lock, [&im] { return im.stop_requested; });
+}
+
+void Server::request_shutdown() { impl_->request_shutdown(); }
+
+void Server::shutdown() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.torn_down) return;
+    im.torn_down = true;
+    im.stop_requested = true;
+  }
+  im.cv.notify_all();
+  if (im.listen_fd >= 0) {
+    ::shutdown(im.listen_fd, SHUT_RDWR);
+  }
+  if (im.accept_thread.joinable()) im.accept_thread.join();
+  if (im.listen_fd >= 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    ::unlink(im.cfg.socket_path.c_str());
+  }
+  // Unblock session readers, then let the scheduler finish running jobs so
+  // their callbacks fire (onto now-dead sockets, harmlessly).
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    sessions = im.sessions;
+    threads.swap(im.session_threads);
+  }
+  for (const auto& s : sessions) ::shutdown(s->sock.fd(), SHUT_RDWR);
+  for (auto& t : threads) t.join();
+  im.sched.stop();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.sessions.clear();
+  }
+}
+
+const ServerConfig& Server::config() const { return impl_->cfg; }
+
+CacheCounters Server::cache_counters() const { return impl_->cache.counters(); }
+
+SchedulerStats Server::scheduler_stats() const { return impl_->sched.stats(); }
+
+std::uint64_t Server::sessions_accepted() const {
+  return impl_->accepted.load();
+}
+
+}  // namespace g80::serve

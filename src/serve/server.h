@@ -1,0 +1,83 @@
+// g80serve daemon core: accepts unix-socket connections, runs the session
+// layer, and glues the protocol to the scheduler and the result cache.
+//
+// One connection == one session.  Each session carries its own identity
+// (numeric id plus the optional hello name), its own TransferLedger — every
+// byte its jobs move over the modeled PCIe bus is charged to it — and its
+// own admission state: at most `max_inflight_per_session` jobs may be
+// queued or running at once; excess requests are rejected immediately with
+// kNotReady rather than queued, which together with the scheduler's
+// queue-depth bound gives the service two layers of typed backpressure.
+//
+// Job flow for launch/autotune/profile:
+//   1. parse + resolve_config (pure; bad configs rejected without touching
+//      a device slot);
+//   2. result-cache lookup (skipped for no_cache and fault jobs) — a hit
+//      answers from the session thread without consuming a device slot,
+//      splicing the stored payload back verbatim;
+//   3. on a miss: admission checks, then Scheduler::submit; the completion
+//      callback stores successful payloads in the cache (errors are never
+//      cached) and writes the response from the worker thread.
+// Responses may therefore complete out of order; clients match on `id`.
+//
+// The server never trusts a session: a failed job resets only the slot
+// device (scheduler), the session's sticky last_status is per-session
+// state, and a session that disconnects mid-job just has its response
+// dropped on the closed socket.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/cache.h"
+#include "serve/scheduler.h"
+
+namespace g80::serve {
+
+struct ServerConfig {
+  std::string socket_path;
+  // Result-cache sizing; empty cache_dir = memory tier only.
+  std::string cache_dir;
+  std::size_t cache_entries = 1024;
+  // Per-session admission bound on queued + running jobs.
+  int max_inflight_per_session = 8;
+  PoolConfig pool;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the socket and starts the accept loop; throws g80::Error on bind
+  // failure.  The server is ready for connect() when this returns.
+  void start();
+
+  // Blocks until a client issues `shutdown` (or request_shutdown is
+  // called); does not tear anything down itself.
+  void wait();
+
+  // Asynchronous shutdown request (safe from any thread, including session
+  // threads and signal-handler helpers): wakes wait() and returns.
+  void request_shutdown();
+
+  // Full teardown: stops accepting, unblocks and joins every session
+  // thread, stops the scheduler.  Idempotent; the destructor calls it.
+  void shutdown();
+
+  const ServerConfig& config() const;
+
+  // Introspection for tests and the stats op.
+  CacheCounters cache_counters() const;
+  SchedulerStats scheduler_stats() const;
+  std::uint64_t sessions_accepted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace g80::serve

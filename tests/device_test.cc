@@ -114,5 +114,57 @@ TEST(CpuCalibration, PositiveAndCached) {
   EXPECT_DOUBLE_EQ(to_opteron_seconds(2.0), 2.0 * to_opteron_seconds(1.0));
 }
 
+
+TEST(TransferLedger, LifetimeTotalsSurviveReset) {
+  TransferLedger ledger;
+  ledger.record_h2d(1000);
+  ledger.record_d2h(500);
+  EXPECT_EQ(ledger.h2d_bytes(), 1000u);
+  EXPECT_EQ(ledger.lifetime_total_bytes(), 1500u);
+  // Epoch reset (phase scoping) zeroes the epoch view only.
+  ledger.reset();
+  EXPECT_EQ(ledger.h2d_bytes(), 0u);
+  EXPECT_EQ(ledger.d2h_bytes(), 0u);
+  EXPECT_EQ(ledger.transfer_count(), 0u);
+  EXPECT_EQ(ledger.lifetime_h2d_bytes(), 1000u);
+  EXPECT_EQ(ledger.lifetime_d2h_bytes(), 500u);
+  EXPECT_EQ(ledger.lifetime_transfer_count(), 2u);
+  // Post-reset traffic accumulates into both views again.
+  ledger.record_h2d(100);
+  EXPECT_EQ(ledger.h2d_bytes(), 100u);
+  EXPECT_EQ(ledger.lifetime_h2d_bytes(), 1100u);
+}
+
+TEST(TransferLedger, DeviceResetPreservesLifetimeAccounting) {
+  // Regression: Device::reset() used to wipe the ledger entirely, so a
+  // g80serve session whose slot device was reset after a faulty job lost
+  // the bytes its *successful* jobs had already moved.  Cumulative totals
+  // must survive the reset; only the epoch view starts over.
+  Device dev;
+  {
+    auto b = dev.alloc<float>(256);
+    std::vector<float> host(256, 1.0f);
+    b.copy_from_host(host);
+    (void)b.copy_to_host();
+  }
+  const std::uint64_t bytes = 256 * sizeof(float);
+  EXPECT_EQ(dev.ledger().h2d_bytes(), bytes);
+  EXPECT_EQ(dev.ledger().lifetime_total_bytes(), 2 * bytes);
+
+  dev.reset();
+  EXPECT_EQ(dev.ledger().h2d_bytes(), 0u);
+  EXPECT_EQ(dev.ledger().total_bytes(), 0u);
+  EXPECT_EQ(dev.ledger().lifetime_h2d_bytes(), bytes);
+  EXPECT_EQ(dev.ledger().lifetime_d2h_bytes(), bytes);
+  EXPECT_EQ(dev.ledger().lifetime_transfer_count(), 2u);
+
+  // And the lifetime view keeps integrating across generations.
+  auto b2 = dev.alloc<float>(64);
+  std::vector<float> host2(64, 2.0f);
+  b2.copy_from_host(host2);
+  EXPECT_EQ(dev.ledger().lifetime_h2d_bytes(), bytes + 64 * sizeof(float));
+  EXPECT_GT(dev.ledger().lifetime_seconds(dev.spec()), 0.0);
+}
+
 }  // namespace
 }  // namespace g80

@@ -103,5 +103,105 @@ TEST(JsonWriter, TopLevelScalarAndCompletionCheck) {
   EXPECT_THROW(w.str(), Error);
 }
 
+
+// --- JsonValue (parser) -----------------------------------------------------
+
+TEST(JsonValue, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("\"hi\\n\"").as_string(), "hi\n");
+  // Wrong-kind access fails fast.
+  EXPECT_THROW(JsonValue::parse("7").as_string(), Error);
+  EXPECT_THROW(JsonValue::parse("\"x\"").as_number(), Error);
+  // Non-integral numbers refuse as_int: grid sizes cannot truncate.
+  EXPECT_THROW(JsonValue::parse("1.5").as_int(), Error);
+}
+
+TEST(JsonValue, ObjectMembersStayInInputOrder) {
+  const JsonValue v = JsonValue::parse("{\"b\":1,\"a\":2,\"c\":3}");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "b");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "c");
+  EXPECT_EQ(v.require("a").as_int(), 2);
+  EXPECT_EQ(v.get("missing"), nullptr);
+  EXPECT_THROW(v.require("missing"), Error);
+  EXPECT_EQ(v.get_int("a", -1), 2);
+  EXPECT_EQ(v.get_int("missing", -1), -1);
+}
+
+TEST(JsonValue, DuplicateKeysRejected) {
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,\"a\":2}"), Error);
+}
+
+TEST(JsonValue, TrailingDataAndDepthLimitRejected) {
+  EXPECT_THROW(JsonValue::parse("1 2"), Error);
+  EXPECT_THROW(JsonValue::parse("{} x"), Error);
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 80; ++i) deep += ']';
+  EXPECT_THROW(JsonValue::parse(deep), Error);
+}
+
+TEST(JsonValue, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é in UTF-8
+  // Surrogates are rejected rather than decoded incorrectly.
+  EXPECT_THROW(JsonValue::parse("\"\\ud83d\\ude00\""), Error);
+}
+
+TEST(JsonValue, DumpRoundTripsWriterOutputByteIdentically) {
+  // The property the g80serve result cache's bit-exactness rests on: a
+  // document produced by JsonWriter, parsed and dumped, is the same bytes —
+  // including the exact number lexemes the writer chose.
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "mat\"mul");
+  w.kv("gflops", 91.1400000001);
+  w.kv("count", std::uint64_t{18446744073709551615ull});
+  w.kv("neg", -3);
+  w.kv("flag", true);
+  w.key("arr");
+  w.begin_array();
+  w.value(0.0131194973402);
+  w.value("x");
+  w.begin_object();
+  w.end_object();
+  w.end_array();
+  w.key("nothing");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_EQ(JsonValue::parse(doc).dump(), doc);
+}
+
+TEST(JsonValue, NumberLexemePreserved) {
+  // "1.50" and "1.5" are the same double but different bytes; dump() must
+  // keep the input spelling.
+  EXPECT_EQ(JsonValue::parse("[1.50,2e1,-0.0]").dump(), "[1.50,2e1,-0.0]");
+}
+
+TEST(JsonValue, MalformedDocumentsThrowWithOffset) {
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+  EXPECT_THROW(JsonValue::parse("tru"), Error);
+  EXPECT_THROW(JsonValue::parse("01"), Error);
+  try {
+    JsonValue::parse("[1, oops]");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // Error messages carry the byte offset for debuggability.
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace g80

@@ -1,0 +1,100 @@
+// ResultCache semantics: LRU bounds, hit/miss/eviction counters, the
+// on-disk tier (atomic writes, cross-instance reload, promotion into
+// memory), and payload fidelity — the cache must return the exact bytes it
+// was given, because g80serve splices them verbatim into responses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/cache.h"
+
+namespace g80::serve {
+namespace {
+
+std::string temp_dir() {
+  char tmpl[] = "/tmp/g80cacheXXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4);
+  std::string payload;
+  EXPECT_EQ(cache.lookup(1, payload), ResultCache::Tier::kMiss);
+  cache.store(1, "{\"x\":1}");
+  EXPECT_EQ(cache.lookup(1, payload), ResultCache::Tier::kMemory);
+  EXPECT_EQ(payload, "{\"x\":1}");
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.mem_hits, 1u);
+  EXPECT_EQ(c.stores, 1u);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.lookups(), 2u);
+}
+
+TEST(ResultCache, LruEvictionOrder) {
+  ResultCache cache(2);
+  cache.store(1, "one");
+  cache.store(2, "two");
+  std::string payload;
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_EQ(cache.lookup(1, payload), ResultCache::Tier::kMemory);
+  cache.store(3, "three");
+  EXPECT_EQ(cache.mem_entries(), 2u);
+  EXPECT_EQ(cache.lookup(2, payload), ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.lookup(1, payload), ResultCache::Tier::kMemory);
+  EXPECT_EQ(cache.lookup(3, payload), ResultCache::Tier::kMemory);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(ResultCache, StoreIsIdempotent) {
+  ResultCache cache(4);
+  cache.store(7, "payload");
+  cache.store(7, "payload");
+  EXPECT_EQ(cache.mem_entries(), 1u);
+  EXPECT_EQ(cache.counters().stores, 2u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(ResultCache, DiskTierSurvivesInstanceAndEviction) {
+  const std::string dir = temp_dir();
+  std::string payload;
+  {
+    ResultCache cache(1, dir);
+    cache.store(10, "ten");
+    cache.store(11, "eleven");  // evicts 10 from memory, not from disk
+    EXPECT_EQ(cache.lookup(10, payload), ResultCache::Tier::kDisk);
+    EXPECT_EQ(payload, "ten");
+    // The disk hit promoted 10; 11 was evicted in turn.
+    EXPECT_EQ(cache.lookup(10, payload), ResultCache::Tier::kMemory);
+  }
+  // A fresh instance — a daemon restart — reloads from disk.
+  ResultCache warm(4, dir);
+  EXPECT_EQ(warm.lookup(11, payload), ResultCache::Tier::kDisk);
+  EXPECT_EQ(payload, "eleven");
+  EXPECT_EQ(warm.counters().disk_hits, 1u);
+
+  // Unknown keys miss both tiers.
+  EXPECT_EQ(warm.lookup(999, payload), ResultCache::Tier::kMiss);
+}
+
+TEST(ResultCache, PayloadBytesPreservedExactly) {
+  const std::string dir = temp_dir();
+  // Payloads with every byte class the JSON writer can emit.
+  const std::string payload =
+      "{\"s\":\"\\u0001\\\"quoted\\\"\",\"n\":0.0131194973402,\"b\":true}";
+  {
+    ResultCache cache(1, dir);
+    cache.store(42, payload);
+  }
+  ResultCache warm(1, dir);
+  std::string got;
+  ASSERT_EQ(warm.lookup(42, got), ResultCache::Tier::kDisk);
+  EXPECT_EQ(got, payload);
+}
+
+}  // namespace
+}  // namespace g80::serve

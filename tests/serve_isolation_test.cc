@@ -1,0 +1,211 @@
+// Multi-tenant isolation soak (label: robust).  Many concurrent client
+// threads share one small device pool; half the sessions are hostile —
+// deterministic fault jobs (OOB stores, skipped barriers, modeled
+// timeouts) and malformed configurations — interleaved with well-behaved
+// sessions' jobs on the same slots.  The assertions are the service's core
+// promises:
+//
+//   1. no cross-session status leakage: every good session's every job
+//      succeeds, even though faulty jobs constantly poison and reset the
+//      devices its jobs run on;
+//   2. every faulty job gets its *own* typed error, not a neighbour's;
+//   3. results are bit-identical to a sequential replay of the same jobs
+//      on a fresh single-session server — concurrency and caching change
+//      timing, never bytes.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace g80::serve {
+namespace {
+
+std::string test_socket(const char* tag) {
+  return "/tmp/g80si_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+JobRequest good_job(int which) {
+  JobRequest req;
+  req.op = Op::kLaunch;
+  switch (which % 3) {
+    case 0:
+      req.kernel = "saxpy";
+      req.n = 4096 + 512 * (which % 5);
+      req.seed = 11 + which % 7;
+      break;
+    case 1:
+      req.kernel = "matmul";
+      req.n = 48;
+      req.tile = 16;
+      req.variant = "tiled";
+      req.seed = 2 + which % 5;
+      break;
+    default:
+      req.kernel = "matmul";
+      req.n = 32;
+      req.tile = 16;
+      req.variant = "naive";
+      req.seed = 3 + which % 4;
+      break;
+  }
+  req.device_class = (which % 2 == 0) ? "gtx" : "gts";
+  return req;
+}
+
+JobRequest faulty_job(int which) {
+  JobRequest req;
+  req.op = Op::kLaunch;
+  switch (which % 4) {
+    case 0:
+      req.kernel = "saxpy";
+      req.n = 2048;
+      req.fault.kind = "oob_store";
+      break;
+    case 1:
+      req.kernel = "matmul";
+      req.n = 32;
+      req.tile = 16;
+      req.variant = "tiled";
+      req.fault.kind = "skip_barrier";
+      break;
+    case 2:
+      req.kernel = "saxpy";
+      req.n = 2048;
+      req.fault.kind = "modeled_timeout";
+      break;
+    default:
+      // Invalid configuration: tile does not divide n.
+      req.kernel = "matmul";
+      req.n = 50;
+      req.tile = 16;
+      req.variant = "tiled";
+      break;
+  }
+  req.device_class = (which % 2 == 0) ? "gtx" : "gts";
+  return req;
+}
+
+Status expected_fault_status(int which) {
+  switch (which % 4) {
+    case 0: return Status::kInvalidAddress;
+    // A skipped barrier in a tiled matmul surfaces as the shared-memory
+    // race it causes (the sanitizer's first finding), not as divergence.
+    case 1: return Status::kSharedMemoryRace;
+    case 2: return Status::kTimeout;
+    default: return Status::kInvalidConfiguration;
+  }
+}
+
+TEST(ServeIsolation, ConcurrentGoodAndFaultySessions) {
+  ServerConfig cfg;
+  cfg.socket_path = test_socket("soak");
+  cfg.pool.gtx_slots = 2;
+  cfg.pool.ultra_slots = 0;
+  cfg.pool.gts_slots = 1;
+  cfg.max_inflight_per_session = 4;
+  cfg.pool.max_queue_depth = 1024;  // soak wants throughput, not rejection
+  Server server(cfg);
+  server.start();
+
+  constexpr int kGoodSessions = 6;
+  constexpr int kFaultySessions = 6;
+  constexpr int kJobsPerSession = 8;
+
+  // job index -> result bytes, collected across all good sessions.  Two
+  // sessions issuing the same job must observe identical bytes.
+  std::mutex results_mu;
+  std::map<int, std::vector<std::string>> results_by_job;
+  std::vector<std::string> failures;
+
+  auto good_session = [&](int session_idx) {
+    try {
+      Client client(cfg.socket_path, "good-" + std::to_string(session_idx));
+      for (int j = 0; j < kJobsPerSession; ++j) {
+        const Response r = client.call(good_job(j));
+        std::lock_guard<std::mutex> lock(results_mu);
+        if (!r.ok()) {
+          failures.push_back("good session " + std::to_string(session_idx) +
+                             " job " + std::to_string(j) + ": " + r.error);
+          continue;
+        }
+        results_by_job[j].push_back(r.result_json);
+      }
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> lock(results_mu);
+      failures.push_back(std::string("good session threw: ") + e.what());
+    }
+  };
+
+  auto faulty_session = [&](int session_idx) {
+    try {
+      Client client(cfg.socket_path, "faulty-" + std::to_string(session_idx));
+      for (int j = 0; j < kJobsPerSession; ++j) {
+        const Response r = client.call(faulty_job(j));
+        if (r.status != expected_fault_status(j)) {
+          std::lock_guard<std::mutex> lock(results_mu);
+          failures.push_back(
+              "faulty session " + std::to_string(session_idx) + " job " +
+              std::to_string(j) + ": expected " +
+              std::string(status_token(expected_fault_status(j))) + ", got " +
+              std::string(status_token(r.status)) + " (" + r.error + ")");
+        }
+      }
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> lock(results_mu);
+      failures.push_back(std::string("faulty session threw: ") + e.what());
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kGoodSessions; ++i) {
+    threads.emplace_back(good_session, i);
+    threads.emplace_back(faulty_session, i);
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_TRUE(failures.empty()) << failures.size() << " failures, first: "
+                                << failures.front();
+  // Every good job ran in every good session.
+  ASSERT_EQ(results_by_job.size(), static_cast<std::size_t>(kJobsPerSession));
+  for (const auto& [job, payloads] : results_by_job) {
+    ASSERT_EQ(payloads.size(), static_cast<std::size_t>(kGoodSessions))
+        << "job " << job;
+    for (const std::string& p : payloads) {
+      EXPECT_EQ(p, payloads.front()) << "job " << job
+                                     << ": divergent result bytes";
+    }
+  }
+  // The hostile sessions forced device resets without poisoning anyone.
+  EXPECT_GE(server.scheduler_stats().device_resets,
+            static_cast<std::uint64_t>(kFaultySessions * kJobsPerSession / 2));
+  server.shutdown();
+
+  // 3. Sequential replay on a fresh server (fresh cache, one session, no
+  // concurrency): byte-identical to what the contended run returned.
+  ServerConfig replay_cfg;
+  replay_cfg.socket_path = test_socket("replay");
+  replay_cfg.pool.gtx_slots = 1;
+  replay_cfg.pool.ultra_slots = 0;
+  replay_cfg.pool.gts_slots = 1;
+  Server replay(replay_cfg);
+  replay.start();
+  Client client(replay_cfg.socket_path, "replay");
+  for (int j = 0; j < kJobsPerSession; ++j) {
+    const Response r = client.call(good_job(j));
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.result_json, results_by_job[j].front())
+        << "sequential replay diverged on job " << j;
+  }
+  replay.shutdown();
+}
+
+}  // namespace
+}  // namespace g80::serve
