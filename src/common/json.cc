@@ -402,6 +402,13 @@ double JsonValue::as_number() const {
 std::int64_t JsonValue::as_int() const {
   expect(Kind::kNumber, "a number");
   const double r = num_;
+  // Casting a double outside int64's range (or NaN) is undefined behavior,
+  // so range-check before the cast — the round-trip check alone would run
+  // after the UB.  2^63 is exactly representable as a double; INT64_MAX is
+  // not, hence the half-open window.
+  if (!(r >= -9223372036854775808.0 && r < 9223372036854775808.0)) {
+    throw Error("JSON number " + scalar_ + " is out of int64 range");
+  }
   const auto i = static_cast<std::int64_t>(r);
   if (static_cast<double>(i) != r) {
     throw Error("JSON number " + scalar_ + " is not an integer");

@@ -6,9 +6,7 @@
 #include <cerrno>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
 
-#include "common/error.h"
 #include "common/str.h"
 
 namespace g80::serve {
@@ -54,7 +52,7 @@ ResultCache::Tier ResultCache::lookup(std::uint64_t key,
         ++counters_.disk_hits;
         // Promote to memory so repeats hit the fast tier.
         lru_.push_front(key);
-        mem_[key] = Entry{std::move(data), lru_.begin()};
+        mem_[key] = Entry{std::move(data), /*on_disk=*/true, lru_.begin()};
         while (mem_.size() > max_entries_) {
           mem_.erase(lru_.back());
           lru_.pop_back();
@@ -71,23 +69,31 @@ ResultCache::Tier ResultCache::lookup(std::uint64_t key,
 void ResultCache::store(std::uint64_t key, const std::string& payload) {
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.stores;
-  if (auto it = mem_.find(key); it != mem_.end()) {
+  auto it = mem_.find(key);
+  if (it != mem_.end()) {
     touch(key);
-    return;  // deterministic results: same key implies same payload
+    // Deterministic results: same key implies same payload, so only the
+    // disk tier can still need work (an earlier write may have failed).
+    if (disk_dir_.empty() || it->second.on_disk) return;
+  } else {
+    lru_.push_front(key);
+    it = mem_.emplace(key, Entry{payload, /*on_disk=*/false, lru_.begin()})
+             .first;
+    while (mem_.size() > max_entries_) {
+      mem_.erase(lru_.back());
+      lru_.pop_back();
+      ++counters_.evictions;
+    }
+    if (disk_dir_.empty()) return;
   }
-  lru_.push_front(key);
-  mem_[key] = Entry{payload, lru_.begin()};
-  while (mem_.size() > max_entries_) {
-    mem_.erase(lru_.back());
-    lru_.pop_back();
-    ++counters_.evictions;
-  }
+  if (write_disk(key, payload)) it->second.on_disk = true;
+}
 
-  if (disk_dir_.empty()) return;
+bool ResultCache::write_disk(std::uint64_t key, const std::string& payload) {
   if (!disk_dir_ready_) {
     if (::mkdir(disk_dir_.c_str(), 0755) != 0 && errno != EEXIST) {
-      throw Error(cat("g80serve cache: mkdir ", disk_dir_, ": ",
-                      std::strerror(errno)));
+      ++counters_.disk_errors;
+      return false;
     }
     disk_dir_ready_ = true;
   }
@@ -97,16 +103,19 @@ void ResultCache::store(std::uint64_t key, const std::string& payload) {
   const std::string tmp_path = cat(final_path, ".tmp");
   std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
   if (f == nullptr) {
-    throw Error(cat("g80serve cache: open ", tmp_path, ": ",
-                    std::strerror(errno)));
+    ++counters_.disk_errors;
+    return false;
   }
   const bool wrote =
       std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
   const bool closed = std::fclose(f) == 0;
-  if (!wrote || !closed || std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+  if (!wrote || !closed ||
+      std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
-    throw Error(cat("g80serve cache: write ", final_path, " failed"));
+    ++counters_.disk_errors;
+    return false;
   }
+  return true;
 }
 
 CacheCounters ResultCache::counters() const {

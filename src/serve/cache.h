@@ -16,6 +16,12 @@
 // different device simply miss.  Errors are never cached — only payloads
 // from successful jobs enter the cache (the scheduler enforces this).
 //
+// The disk tier is best-effort: a failed write (disk full, permissions)
+// never throws out of store() — the entry stays memory-only, the failure
+// is counted in disk_errors, and the next store() of the same key retries
+// the write.  store() runs on scheduler completion callbacks where an
+// escaping exception would take down the whole daemon.
+//
 // Thread safety: every public method is safe to call from any session or
 // scheduler thread; one mutex guards both tiers (disk IO happens under it —
 // payloads are small and correctness beats concurrency here).
@@ -35,6 +41,7 @@ struct CacheCounters {
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t disk_errors = 0;  // failed best-effort disk writes
 
   std::uint64_t hits() const { return mem_hits + disk_hits; }
   std::uint64_t lookups() const { return hits() + misses; }
@@ -54,7 +61,8 @@ class ResultCache {
   Tier lookup(std::uint64_t key, std::string& payload);
 
   // Inserts into both tiers, evicting the LRU memory entry beyond capacity.
-  // Idempotent: re-storing an existing key refreshes recency only.
+  // Idempotent: re-storing an existing key refreshes recency, and retries
+  // the disk write if an earlier one failed.  Never throws on disk errors.
   void store(std::uint64_t key, const std::string& payload);
 
   CacheCounters counters() const;
@@ -63,6 +71,9 @@ class ResultCache {
  private:
   std::string disk_path(std::uint64_t key) const;
   void touch(std::uint64_t key);  // move to MRU position; lock held
+  // Best-effort disk write; returns whether `key`'s file durably exists
+  // afterwards.  Counts failures instead of throwing; lock held.
+  bool write_disk(std::uint64_t key, const std::string& payload);
 
   mutable std::mutex mu_;
   std::size_t max_entries_;
@@ -72,6 +83,7 @@ class ResultCache {
   std::list<std::uint64_t> lru_;
   struct Entry {
     std::string payload;
+    bool on_disk;  // false after a failed disk write; store() retries
     std::list<std::uint64_t>::iterator pos;
   };
   std::unordered_map<std::uint64_t, Entry> mem_;

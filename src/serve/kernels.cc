@@ -291,19 +291,33 @@ std::string run_autotune_payload(Device& dev, const JobRequest& req,
       cands.push_back({r, c});
     }
   } else {
+    const auto add_candidate = [&](const std::string& variant,
+                                   std::int64_t tile) {
+      for (const Candidate& existing : cands) {
+        if (existing.req.variant == variant && existing.req.tile == tile) {
+          return;
+        }
+      }
+      JobRequest r = req;
+      r.op = Op::kLaunch;
+      r.variant = variant;
+      r.tile = tile;
+      r.config = ConfigOverrides{};  // canonical shapes per candidate
+      LaunchConfig c = canonical_config(r);
+      c.sample_blocks = base.sample_blocks;
+      c.functional = false;
+      cands.push_back({r, c});
+    };
+    // The request's own (variant, tile) is always a candidate: it already
+    // passed resolve_config, and it keeps the sweep non-empty when n is
+    // divisible by neither standard tile (e.g. n=12 with tile=2) — an
+    // empty candidate list would leave nothing to report as "best".
+    add_candidate(req.variant, req.tile);
     for (const char* variant :
          {"tiled", "tiled_unrolled", "prefetch", "regtiled"}) {
       for (const std::int64_t tile : {8, 16}) {
         if (req.n % tile != 0) continue;
-        JobRequest r = req;
-        r.op = Op::kLaunch;
-        r.variant = variant;
-        r.tile = tile;
-        r.config = ConfigOverrides{};  // canonical shapes per candidate
-        LaunchConfig c = canonical_config(r);
-        c.sample_blocks = base.sample_blocks;
-        c.functional = false;
-        cands.push_back({r, c});
+        add_candidate(variant, tile);
       }
     }
   }

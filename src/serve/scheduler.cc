@@ -69,7 +69,14 @@ struct Scheduler::Impl {
           ++stats_.device_resets;
         }
       }
-      job.done(out);
+      try {
+        job.done(out);
+      } catch (...) {
+        // No handler above this frame: an exception escaping a completion
+        // callback would std::terminate the daemon for every tenant.  The
+        // job's own session is the only party affected; keep the slot
+        // serving.
+      }
     }
   }
 

@@ -3,12 +3,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/str.h"
@@ -87,16 +89,24 @@ struct Server::Impl {
         if (errno == EINTR) continue;
         return;  // listener shut down
       }
-      std::lock_guard<std::mutex> lock(mu);
-      if (stop_requested) {
-        ::close(fd);
-        return;
+      std::vector<std::thread> done;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stop_requested) {
+          ::close(fd);
+          return;
+        }
+        auto session = std::make_shared<Session>(next_session_id++, fd);
+        ++accepted;
+        sessions.push_back(session);
+        std::thread t([this, session] { session_loop(session); });
+        session_threads.emplace(session->id, std::move(t));
+        done.swap(finished_threads);
       }
-      auto session = std::make_shared<Session>(next_session_id++, fd);
-      ++accepted;
-      sessions.push_back(session);
-      session_threads.emplace_back(
-          [this, session] { session_loop(session); });
+      // Reap sessions that disconnected since the last accept, so a
+      // long-running daemon's thread handles and Session records don't
+      // grow with its connection count.
+      for (std::thread& t : done) t.join();
     }
   }
 
@@ -111,6 +121,17 @@ struct Server::Impl {
       if (line.empty()) continue;
       handle_line(s, line);
       if (stopping_after_response) break;
+    }
+    // Drop this session's record (in-flight callbacks keep the Session
+    // alive via their own shared_ptr) and park the thread handle for the
+    // accept loop to join — a thread cannot join itself.  During shutdown
+    // the map entry may already have been claimed for joining; skip then.
+    std::lock_guard<std::mutex> lock(mu);
+    sessions.erase(std::remove(sessions.begin(), sessions.end(), s),
+                   sessions.end());
+    if (auto it = session_threads.find(s->id); it != session_threads.end()) {
+      finished_threads.push_back(std::move(it->second));
+      session_threads.erase(it);
     }
   }
 
@@ -230,7 +251,14 @@ struct Server::Impl {
           if (out.d2h_bytes > 0) s->ledger.record_d2h(out.d2h_bytes);
         }
         if (out.status == Status::kSuccess && cacheable) {
-          cache.store(key, out.payload);
+          // This callback runs on a scheduler worker with no handler above
+          // it — an escaping exception would std::terminate the daemon.
+          // store() swallows disk-tier failures itself; this guard covers
+          // anything else (e.g. allocation failure copying the payload).
+          try {
+            cache.store(key, out.payload);
+          } catch (...) {
+          }
         }
         try {
           if (out.status == Status::kSuccess) {
@@ -270,6 +298,7 @@ struct Server::Impl {
     w.kv("misses", cc.misses);
     w.kv("stores", cc.stores);
     w.kv("evictions", cc.evictions);
+    w.kv("disk_errors", cc.disk_errors);
     w.kv("mem_entries", static_cast<std::uint64_t>(cache.mem_entries()));
     w.end_object();
     w.end_object();
@@ -314,8 +343,12 @@ struct Server::Impl {
   std::condition_variable cv;
   bool stop_requested = false;
   bool torn_down = false;
+  // Live sessions and their reader threads, keyed by session id; threads
+  // whose loops have exited move to finished_threads until a join point
+  // (the next accept, or shutdown).
   std::vector<std::shared_ptr<Session>> sessions;
-  std::vector<std::thread> session_threads;
+  std::unordered_map<std::uint64_t, std::thread> session_threads;
+  std::vector<std::thread> finished_threads;
   std::uint64_t next_session_id = 1;
   std::atomic<std::uint64_t> accepted{0};
   // Set by the shutdown op's session so its loop exits after responding.
@@ -367,7 +400,10 @@ void Server::shutdown() {
   {
     std::lock_guard<std::mutex> lock(im.mu);
     sessions = im.sessions;
-    threads.swap(im.session_threads);
+    for (auto& [id, t] : im.session_threads) threads.push_back(std::move(t));
+    im.session_threads.clear();
+    for (auto& t : im.finished_threads) threads.push_back(std::move(t));
+    im.finished_threads.clear();
   }
   for (const auto& s : sessions) ::shutdown(s->sock.fd(), SHUT_RDWR);
   for (auto& t : threads) t.join();
@@ -386,6 +422,11 @@ SchedulerStats Server::scheduler_stats() const { return impl_->sched.stats(); }
 
 std::uint64_t Server::sessions_accepted() const {
   return impl_->accepted.load();
+}
+
+std::size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->sessions.size();
 }
 
 }  // namespace g80::serve

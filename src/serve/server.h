@@ -26,6 +26,7 @@
 // dropped on the closed socket.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,6 +75,9 @@ class Server {
   CacheCounters cache_counters() const;
   SchedulerStats scheduler_stats() const;
   std::uint64_t sessions_accepted() const;
+  // Currently-connected sessions; disconnected ones are reaped, so this
+  // does not grow with sessions_accepted on a long-running daemon.
+  std::size_t active_sessions() const;
 
  private:
   struct Impl;

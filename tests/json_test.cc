@@ -120,6 +120,18 @@ TEST(JsonValue, ScalarKindsAndAccessors) {
   EXPECT_THROW(JsonValue::parse("1.5").as_int(), Error);
 }
 
+TEST(JsonValue, AsIntRejectsOutOfRangeNumbers) {
+  // Out-of-range doubles must throw, not hit undefined float->int casts.
+  EXPECT_THROW(JsonValue::parse("1e19").as_int(), Error);
+  EXPECT_THROW(JsonValue::parse("-1e19").as_int(), Error);
+  EXPECT_THROW(JsonValue::parse("9223372036854775808").as_int(), Error);
+  // The largest doubles inside the window still convert exactly.
+  EXPECT_EQ(JsonValue::parse("9223372036854774784").as_int(),
+            9223372036854774784LL);
+  EXPECT_EQ(JsonValue::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
 TEST(JsonValue, ObjectMembersStayInInputOrder) {
   const JsonValue v = JsonValue::parse("{\"b\":1,\"a\":2,\"c\":3}");
   ASSERT_EQ(v.size(), 3u);

@@ -4,6 +4,8 @@
 // was given, because g80serve splices them verbatim into responses.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -79,6 +81,28 @@ TEST(ResultCache, DiskTierSurvivesInstanceAndEviction) {
 
   // Unknown keys miss both tiers.
   EXPECT_EQ(warm.lookup(999, payload), ResultCache::Tier::kMiss);
+}
+
+TEST(ResultCache, DiskFailureDegradesToMemoryAndRetriesOnRestore) {
+  const std::string parent = temp_dir();
+  // mkdir of the cache dir fails (ENOENT) until its parent exists.
+  const std::string dir = parent + "/sub/cache";
+  ResultCache cache(4, dir);
+  cache.store(5, "five");  // must not throw: store runs on worker callbacks
+  std::string payload;
+  EXPECT_EQ(cache.lookup(5, payload), ResultCache::Tier::kMemory);
+  EXPECT_EQ(payload, "five");
+  EXPECT_EQ(cache.counters().disk_errors, 1u);
+
+  // Once the disk tier becomes writable, re-storing an already-cached key
+  // completes the missed disk write instead of short-circuiting on the
+  // memory hit — the survives-restarts property heals itself.
+  ASSERT_EQ(::mkdir((parent + "/sub").c_str(), 0755), 0);
+  cache.store(5, "five");
+  EXPECT_EQ(cache.counters().disk_errors, 1u);
+  ResultCache warm(4, dir);
+  EXPECT_EQ(warm.lookup(5, payload), ResultCache::Tier::kDisk);
+  EXPECT_EQ(payload, "five");
 }
 
 TEST(ResultCache, PayloadBytesPreservedExactly) {

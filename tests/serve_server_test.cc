@@ -176,6 +176,50 @@ TEST(ServeServer, AutotuneAndProfileOps) {
   server.shutdown();
 }
 
+TEST(ServeServer, AutotuneKeepsRequestConfigWhenSweepTilesDoNotDivide) {
+  // n=12 is divisible by the request's tile=2 but by neither standard
+  // sweep tile (8, 16); the request's own config must survive as a
+  // candidate rather than the sweep coming back empty, which used to
+  // index an empty vector and crash the daemon.
+  ServerConfig cfg;
+  cfg.socket_path = test_socket("tune12");
+  Server server(cfg);
+  server.start();
+  Client client(cfg.socket_path);
+
+  JobRequest tune = matmul_job(12);
+  tune.tile = 2;
+  tune.op = Op::kAutotune;
+  const Response r = client.call(tune);
+  ASSERT_TRUE(r.ok()) << r.error;
+  const JsonValue& result = r.doc.require("result");
+  ASSERT_EQ(result.require("candidates").size(), 1u);
+  EXPECT_EQ(result.require("best").get_string("variant", ""), "tiled");
+  EXPECT_EQ(result.require("best").get_int("tile", 0), 2);
+  server.shutdown();
+}
+
+TEST(ServeServer, FinishedSessionsAreReaped) {
+  ServerConfig cfg;
+  cfg.socket_path = test_socket("reap");
+  Server server(cfg);
+  server.start();
+
+  for (int i = 0; i < 8; ++i) {
+    Client client(cfg.socket_path);
+    const Response r = client.call(saxpy_job(1024, i));
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+  // Each disconnect releases its session record as the reader loop exits;
+  // poll briefly because that teardown races this check.
+  for (int i = 0; i < 500 && server.active_sessions() > 0; ++i) {
+    ::usleep(10 * 1000);
+  }
+  EXPECT_EQ(server.active_sessions(), 0u);
+  EXPECT_EQ(server.sessions_accepted(), 8u);
+  server.shutdown();
+}
+
 TEST(ServeServer, TypedRejections) {
   ServerConfig cfg;
   cfg.socket_path = test_socket("reject");
