@@ -1,19 +1,62 @@
-// Ablation: the same CUDA program across GeForce 8800 family members.
+// Ablation: the same CUDA program across GeForce 8800 family members,
+// plus the simulator's own interpreter-throughput ablation.
 //
 // Paper principle 4: the absence of global inter-block synchronization
 // "enables the execution of the same CUDA program across processor family
 // members with a varying number of cores, and makes the hardware scalable."
 // We run the unrolled matmul unchanged on the GTS (12 SMs), GTX (16 SMs)
 // and Ultra (16 SMs, higher clocks) models.
+//
+// The second table ablates the *simulator's* execution engine on one fixed
+// workload: fiber engine (legacy ucontext vs the hand-rolled fast switch),
+// traced vs functional fast path, and worker count.  It shows where the
+// interpreter's wall time actually goes; the gated scalability curve with a
+// checked-in baseline lives in bench/rt_throughput (docs/performance.md).
+#include <chrono>
 #include <iostream>
 
 #include "apps/matmul/matmul.h"
 #include "common/str.h"
 #include "common/table.h"
 #include "cudalite/device.h"
+#include "cudalite/launch.h"
+#include "exec/fiber.h"
+#include "exec/worker_pool.h"
 
 using namespace g80;
 using namespace g80::apps;
+
+namespace {
+
+// Wall time of one interpreted matmul launch under the given engine knobs.
+double interp_seconds(int n, bool fast_path, int workers,
+                      Fiber::Backend backend) {
+  Device dev;
+  auto a = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+  auto b = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+  auto c = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+  const auto wl = MatmulWorkload::generate(n, 42);
+  a.copy_from_host(wl.a);
+  b.copy_from_host(wl.b);
+
+  const int tile = 16;
+  LaunchOptions opt;
+  opt.regs_per_thread = 9;
+  opt.fast_path = fast_path;
+  opt.fiber_backend = backend;
+  WorkerPool pool(workers);
+  if (workers > 1) opt.pool = &pool;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  launch(dev, Dim3(static_cast<unsigned>(n / tile),
+                   static_cast<unsigned>(n / tile)),
+         Dim3(static_cast<unsigned>(tile), static_cast<unsigned>(tile)), opt,
+         MatmulTiledKernel{n, tile, /*unrolled=*/true}, a, b, c);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
 
 int main() {
   const int n = 4096;
@@ -40,5 +83,39 @@ int main() {
   t.print(std::cout);
   std::cout << "\nthe issue-bound kernel scales with SMs x clock, untouched "
                "(§1 principle 4)\n";
+
+  // ---- Simulator interpreter-throughput ablation ------------------------
+  const int in = 256;  // small enough that the ucontext row stays snappy
+  std::cout << "\nInterpreter ablation: one " << in << "x" << in
+            << " tiled matmul launch, host wall time\n\n";
+  struct Config {
+    const char* name;
+    bool fast_path;
+    int workers;
+    Fiber::Backend backend;
+  };
+  const Config configs[] = {
+      {"ucontext fibers, traced, 1 worker", false, 1,
+       Fiber::Backend::kUcontext},
+      {"fast fibers,     traced, 1 worker", false, 1, Fiber::Backend::kFast},
+      {"fast fibers,     fast path, 1 worker", true, 1, Fiber::Backend::kFast},
+      {"fast fibers,     fast path, 2 workers", true, 2,
+       Fiber::Backend::kFast},
+      {"fast fibers,     fast path, 4 workers", true, 4,
+       Fiber::Backend::kFast},
+  };
+  TextTable it({"engine configuration", "wall ms", "vs ucontext"});
+  const double base = interp_seconds(in, false, 1, Fiber::Backend::kUcontext);
+  for (const auto& cfg : configs) {
+    const double s =
+        cfg.backend == Fiber::Backend::kUcontext && !cfg.fast_path &&
+                cfg.workers == 1
+            ? base
+            : interp_seconds(in, cfg.fast_path, cfg.workers, cfg.backend);
+    it.add_row({cfg.name, fixed(1e3 * s, 1), fixed(base / s, 2) + "x"});
+  }
+  it.print(std::cout);
+  std::cout << "\nwall numbers are host-dependent; the regression-gated curve "
+               "is BENCH_rt_throughput.json\n";
   return 0;
 }

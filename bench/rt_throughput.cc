@@ -1,15 +1,25 @@
 // g80rt throughput benchmark: what the runtime's two levers actually buy.
 //
-// 1. Block-parallel functional pass — the §4 matmul (tiled+unrolled, full
-//    grid) launched sequentially and across WorkerPools of 2 and 4 workers.
-//    Reports wall-clock speedup and verifies outputs and modeled stats stay
-//    bit-identical (speedups depend on host cores; determinism must not).
+// 1. Interpreter scalability — the §4 matmul (tiled+unrolled, full grid):
+//    first a legacy reference (ucontext fiber engine, traced path, one
+//    worker — the interpreter exactly as it stood before the fast engine),
+//    then the traced path on the fast engine at 1/2/4 workers, then the
+//    functional fast path (LaunchOptions::fast_path) at 1/2/4/8 workers.
+//    Every run's outputs must be bit-identical to the reference; the traced
+//    runs' modeled stats must match it exactly.  The bench FAILS (non-zero
+//    exit, which run_benches.sh turns into a flagged failure document) if
+//    the 4-worker fast path is less than kFloorSpeedupW4 times faster than
+//    the legacy reference — this is the CI floor for ROADMAP item 1.
+//    NOTE on reading the curve: worker scaling buys wall time only up to the
+//    host's core count; on a single-core host the whole curve is flat and
+//    the speedup comes from the fast engine + fast path alone.
 // 2. Streams — the same four h2d→kernel→d2h pipelines pushed through one
 //    stream vs four, with measured wall-clock and the modeled
 //    serialized-vs-overlapped totals from the timeline.
 //
 // Emits the standard g80bench-result document (bench/harness.h); wall-clock
-// metrics carry the `wall_` prefix so the regression checker skips them.
+// metrics carry the `wall_` prefix so the regression checker skips them,
+// and the gate row's `floor_` metric is one-sided (current >= baseline).
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -48,24 +58,29 @@ struct ScaleKernel {
 
 }  // namespace
 
+// Minimum acceptable (4-worker fast path) vs (legacy reference) speedup.
+constexpr double kFloorSpeedupW4 = 2.5;
+
 int main(int argc, char** argv) {
   bench::Harness h(argc, argv, "rt_throughput");
-  // ---- Part 1: block-parallel functional pass over the §4 matmul ----
+  // ---- Part 1: interpreter scalability over the §4 matmul ----
   const int n = 512, tile = 16;
   const auto wl = MatmulWorkload::generate(n, h.seed());
   const MatmulTiledKernel kernel{n, tile, /*unrolled=*/true};
 
   struct Run {
-    int workers;
-    double seconds;
-    bool bit_identical;
-    double timing_seconds;
+    double seconds = 0;
+    bool bit_identical = true;
+    double timing_seconds = 0;
   };
-  std::vector<Run> runs;
-  std::vector<float> baseline;
-  double baseline_timing = 0;
+  std::vector<float> reference;
+  double reference_timing = 0;
 
-  for (int workers : {1, 2, 4}) {
+  // One timed launch.  The first call defines the reference outputs (and,
+  // for traced runs, the reference modeled time); every later call is
+  // compared against it byte-for-byte.
+  auto run_matmul = [&](int workers, bool fast_path,
+                        Fiber::Backend backend) -> Run {
     Device dev;
     auto a = dev.alloc<float>(wl.a.size());
     auto b = dev.alloc<float>(wl.b.size());
@@ -77,6 +92,8 @@ int main(int argc, char** argv) {
     LaunchOptions opt;
     opt.regs_per_thread = 9;
     opt.pool = workers > 1 ? &pool : nullptr;
+    opt.fast_path = fast_path;
+    opt.fiber_backend = backend;
 
     const double t0 = now_seconds();
     const LaunchStats stats = launch(dev, Dim3(n / tile, n / tile),
@@ -84,18 +101,32 @@ int main(int argc, char** argv) {
     const double wall = now_seconds() - t0;
 
     const std::vector<float> out = c.copy_to_host();
-    bool identical = true;
-    if (workers == 1) {
-      baseline = out;
-      baseline_timing = stats.timing.seconds;
+    Run r{wall, true, stats.timing.seconds};
+    if (reference.empty()) {
+      reference = out;
+      reference_timing = stats.timing.seconds;
     } else {
-      identical = out.size() == baseline.size() &&
-                  std::memcmp(out.data(), baseline.data(),
-                              baseline.size() * sizeof(float)) == 0 &&
-                  stats.timing.seconds == baseline_timing;
+      r.bit_identical =
+          out.size() == reference.size() &&
+          std::memcmp(out.data(), reference.data(),
+                      reference.size() * sizeof(float)) == 0 &&
+          // The fast path skips the timing model by contract; traced runs
+          // must reproduce the reference model output exactly.
+          (fast_path || stats.timing.seconds == reference_timing);
     }
-    runs.push_back({workers, wall, identical, stats.timing.seconds});
-  }
+    return r;
+  };
+
+  // Legacy reference: the interpreter as it stood before this fast engine —
+  // ucontext switches, traced path, sequential blocks.
+  const Run legacy = run_matmul(1, false, Fiber::Backend::kUcontext);
+  std::vector<std::pair<int, Run>> traced, fast;
+  for (int workers : {1, 2, 4})
+    traced.emplace_back(workers,
+                        run_matmul(workers, false, Fiber::default_backend()));
+  for (int workers : {1, 2, 4, 8})
+    fast.emplace_back(workers,
+                      run_matmul(workers, true, Fiber::default_backend()));
 
   // ---- Part 2: one stream vs four ----
   const int sn = 1 << 18;  // 1 MB buffers per pipeline
@@ -139,18 +170,52 @@ int main(int argc, char** argv) {
   const double four_wall = run_pipelines(4, &four_total, &four_serial);
 
   // ---- Results ----
-  h.human() << "block-parallel " << n << "x" << n << " matmul ("
+  bool all_identical = true;
+  h.human() << "interpreter scalability, " << n << "x" << n << " matmul ("
             << (n / tile) * (n / tile) << " blocks):\n";
-  for (const Run& r : runs) {
-    h.human() << "  workers=" << r.workers << ": " << fixed(r.seconds, 4)
-              << " s wall (speedup " << fixed(runs[0].seconds / r.seconds, 2)
+  h.human() << "  legacy (ucontext, traced, w1): " << fixed(legacy.seconds, 4)
+            << " s wall\n";
+  {
+    auto& row = h.result("legacy_ucontext_w1");
+    row.set("wall_seconds", legacy.seconds);
+    row.set("bit_identical", 1);
+    row.set("modeled_kernel_seconds", legacy.timing_seconds);
+  }
+  for (const auto& [workers, r] : traced) {
+    all_identical = all_identical && r.bit_identical;
+    h.human() << "  traced   w" << workers << ": " << fixed(r.seconds, 4)
+              << " s wall (vs legacy " << fixed(legacy.seconds / r.seconds, 2)
               << "x), bit identical: " << (r.bit_identical ? "yes" : "NO")
               << "\n";
-    auto& row = h.result(cat("block_parallel_w", r.workers));
+    auto& row = h.result(cat("block_parallel_w", workers));
     row.set("wall_seconds", r.seconds);
-    row.set("wall_speedup", runs[0].seconds / r.seconds);
+    row.set("wall_speedup", traced.front().second.seconds / r.seconds);
+    row.set("wall_speedup_vs_legacy", legacy.seconds / r.seconds);
     row.set("bit_identical", r.bit_identical ? 1 : 0);
     row.set("modeled_kernel_seconds", r.timing_seconds);
+  }
+  double fast_w4_speedup = 0;
+  for (const auto& [workers, r] : fast) {
+    all_identical = all_identical && r.bit_identical;
+    const double speedup = legacy.seconds / r.seconds;
+    if (workers == 4) fast_w4_speedup = speedup;
+    h.human() << "  fastpath w" << workers << ": " << fixed(r.seconds, 4)
+              << " s wall (vs legacy " << fixed(speedup, 2)
+              << "x), bit identical: " << (r.bit_identical ? "yes" : "NO")
+              << "\n";
+    auto& row = h.result(cat("fastpath_w", workers));
+    row.set("wall_seconds", r.seconds);
+    row.set("wall_speedup_vs_legacy", speedup);
+    row.set("bit_identical", r.bit_identical ? 1 : 0);
+  }
+  {
+    // Gate row: floor_ metrics are one-sided in the regression checker
+    // (current >= baseline), so lowering the floor constant in this file
+    // below the checked-in baseline fails CI; the measured speedup itself
+    // is enforced by the non-zero exit below, not by the baseline diff.
+    auto& row = h.result("fastpath_gate");
+    row.set("floor_speedup_w4", kFloorSpeedupW4);
+    row.set("wall_speedup_w4", fast_w4_speedup);
   }
 
   const double saving_pct = 100.0 * (four_serial - four_total) /
@@ -176,5 +241,16 @@ int main(int argc, char** argv) {
   }
 
   Device spec_dev;
-  return h.finish(spec_dev.spec());
+  const int rc = h.finish(spec_dev.spec());
+  if (!all_identical) {
+    std::cerr << "FAIL: outputs/stats diverged from the sequential reference\n";
+    return 1;
+  }
+  if (fast_w4_speedup < kFloorSpeedupW4) {
+    std::cerr << "FAIL: 4-worker fast path speedup " << fixed(fast_w4_speedup, 2)
+              << "x vs legacy is below the " << fixed(kFloorSpeedupW4, 1)
+              << "x floor (ROADMAP item 1 regression)\n";
+    return 1;
+  }
+  return rc;
 }

@@ -11,7 +11,10 @@ RESULT_DIR with:
   * the same set of result rows and metric keys, and
   * every metric value within --rtol relative tolerance (default 1e-6),
     EXCEPT metrics whose key starts with "wall_", which are host wall-clock
-    measurements and are skipped.
+    measurements and are skipped, and metrics whose key starts with
+    "floor_", which are one-sided: the new value must be >= the baseline
+    (used for policy constants like minimum-speedup gates, so a PR that
+    quietly lowers a floor fails the diff while raising it is fine).
 
 Modeled quantities in this suite are deterministic, so the default tolerance
 only absorbs cross-platform floating-point formatting, not real drift.
@@ -86,6 +89,13 @@ def compare_file(name, base, got, rtol):
                     errors += fail(f"{name}: {row}.{key} = {g}, baseline {b}")
                 continue
             tol = rtol * max(1.0, abs(b))
+            if key.startswith("floor_"):
+                if g < b - tol:
+                    errors += fail(
+                        f"{name}: {row}.{key} = {g:.9g} dropped below "
+                        f"baseline floor {b:.9g}"
+                    )
+                continue
             if abs(g - b) > tol:
                 errors += fail(
                     f"{name}: {row}.{key} = {g:.9g}, baseline {b:.9g} "

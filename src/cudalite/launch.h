@@ -109,8 +109,26 @@ struct LaunchOptions {
   // Kernel calls __syncthreads.  Setting this false enables a much faster
   // fiber-less execution path; a kernel that then syncs anyway throws.
   bool uses_sync = true;
+  // Functional fast path: skip the trace pass, timing model, and all
+  // trace/stat bookkeeping, running only configuration validation, the
+  // functional pass, and occupancy (from the functional pass's shared-memory
+  // footprint).  Kernel outputs are bit-identical to the traced path —
+  // tracing never touches results by construction — but stats.trace and
+  // stats.timing stay empty, so the fast path is IGNORED while a profiler,
+  // scope session, or sanitizer is attached (those need the instrumented
+  // passes; tests/exec_fastpath_test.cc asserts the rejection).  When the
+  // g80resil modeled watchdog is armed (resilience.modeled_timeout_s > 0) a
+  // minimal 1-block trace sample is retained so the watchdog still sees a
+  // modeled time.  Auto-selected by g80resil at fallback level >= 2 and by
+  // g80serve for jobs requesting sample_blocks == 0.
+  bool fast_path = false;
   // Fiber stack size for kernel threads.
   std::size_t stack_bytes = 128 * 1024;
+  // Fiber switch engine for this launch's BlockRunners: the hand-rolled
+  // stack switch (default on non-sanitized x86-64) or the legacy glibc
+  // ucontext engine.  Semantics are identical; only switch cost differs.
+  // Requests for the fast engine degrade to ucontext where unsupported.
+  Fiber::Backend fiber_backend = Fiber::default_backend();
   // g80check: opt-in barrier-divergence and shared-memory-race validation
   // (plus deterministic fault injection).  Adds one extra pass over the
   // grid; launches with `enabled == false` execute exactly the seed paths.
@@ -153,6 +171,27 @@ class ScopedLaunchPool {
   WorkerPool* prev_;
 };
 
+// Ambient fast-path default, consulted in addition to
+// LaunchOptions::fast_path (either one opts the launch in; observers still
+// override — see the field's comment).  Lets a whole workload (the §5
+// suite, a bench sweep) run result-only without threading options through
+// every launch call.  Thread-local, like the ambient pool.
+bool ambient_fast_path();
+void set_ambient_fast_path(bool on);
+
+class ScopedFastPath {
+ public:
+  explicit ScopedFastPath(bool on = true) : prev_(ambient_fast_path()) {
+    set_ambient_fast_path(on);
+  }
+  ~ScopedFastPath() { set_ambient_fast_path(prev_); }
+  ScopedFastPath(const ScopedFastPath&) = delete;
+  ScopedFastPath& operator=(const ScopedFastPath&) = delete;
+
+ private:
+  bool prev_;
+};
+
 struct LaunchStats {
   Dim3 grid, block;
   std::size_t smem_per_block = 0;
@@ -187,19 +226,21 @@ std::vector<std::uint64_t> pick_sample_blocks(std::uint64_t total, int n);
 class RunnerSet {
  public:
   RunnerSet(BlockRunner* primary, int slots, int max_threads,
-            std::size_t smem_capacity, std::size_t stack_bytes)
+            std::size_t smem_capacity, std::size_t stack_bytes,
+            Fiber::Backend backend = Fiber::default_backend())
       : primary_(primary),
         extras_(static_cast<std::size_t>(std::max(0, slots - 1))),
         max_threads_(max_threads),
         smem_capacity_(smem_capacity),
-        stack_bytes_(stack_bytes) {}
+        stack_bytes_(stack_bytes),
+        backend_(backend) {}
 
   BlockRunner& at(int slot) {
     if (slot == 0) return *primary_;
     auto& r = extras_[static_cast<std::size_t>(slot - 1)];
     if (!r)
       r = std::make_unique<BlockRunner>(max_threads_, smem_capacity_,
-                                        stack_bytes_);
+                                        stack_bytes_, backend_);
     return *r;
   }
 
@@ -219,6 +260,7 @@ class RunnerSet {
   int max_threads_;
   std::size_t smem_capacity_;
   std::size_t stack_bytes_;
+  Fiber::Backend backend_;
 };
 
 // Dispatch body(slot, index) over [0, total): sequential on the caller when
@@ -251,9 +293,10 @@ namespace detail {
 //   level 0  exactly the configuration the caller asked for;
 //   level 1  block parallelism abandoned (sequential blocks on the caller,
 //            sidestepping a starved or wedged worker pool);
-//   level 2  additionally a 1-block trace sample and no sanitize pass — the
-//            functional fast path, minimum machinery that still yields
-//            correct kernel outputs.
+//   level 2  additionally the functional fast path (LaunchOptions::fast_path
+//            semantics): no sanitize pass and no trace pass beyond the
+//            1-block sample the modeled watchdog needs, if armed — the
+//            minimum machinery that still yields correct kernel outputs.
 // Kernel outputs are bit-identical across levels (block scheduling never
 // changes results — the seed invariant); only trace/timing fidelity and
 // validation coverage degrade.
@@ -312,18 +355,34 @@ void launch_impl(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
       att.fallback_level >= 1
           ? nullptr
           : (opt.pool != nullptr ? opt.pool : ambient_launch_pool());
-  const int sample_blocks = att.fallback_level >= 2 ? 1 : opt.sample_blocks;
   const bool sanitize_enabled =
       att.fallback_level < 2 && opt.sanitize.enabled;
+  // Functional fast path: requested by the caller or escalated to by the
+  // degradation ladder, but only when no observer needs the instrumented
+  // passes — a profiler/scope/sanitizer silently falls back to the traced
+  // path rather than recording empty counters.
+  const bool observed = opt.sanitize.enabled || opt.prof.sink != nullptr ||
+                        opt.scope.sink != nullptr;
+  const bool fast = (opt.fast_path || ambient_fast_path() ||
+                     att.fallback_level >= 2) &&
+                    !observed;
+  // Under the fast path, trace only what the modeled watchdog requires: one
+  // sample block when it is armed, none otherwise.
+  const bool modeled_watchdog =
+      opt.resilience.enabled && opt.resilience.modeled_timeout_s > 0;
+  const int sample_blocks =
+      fast ? (modeled_watchdog ? 1 : 0)
+           : (att.fallback_level >= 2 ? 1 : opt.sample_blocks);
   const CancelToken* cancel = att.cancel;
   const int slots =
       pool != nullptr && pool->width() > 1 ? pool->width() : 1;
 
   BlockRunner runner(opt.uses_sync ? threads : 1, spec.shared_mem_per_sm,
-                     opt.stack_bytes);
+                     opt.stack_bytes, opt.fiber_backend);
   runner.set_cancel_token(cancel);
   detail::RunnerSet runners(&runner, slots, opt.uses_sync ? threads : 1,
-                            spec.shared_mem_per_sm, opt.stack_bytes);
+                            spec.shared_mem_per_sm, opt.stack_bytes,
+                            opt.fiber_backend);
   const auto run_block = [&](BlockRunner& r,
                              const std::function<void(int)>& body) {
     if (opt.uses_sync) {
@@ -347,49 +406,51 @@ void launch_impl(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
     // sequential path.
     const auto samples =
         detail::pick_sample_blocks(total_blocks, sample_blocks);
-    std::vector<BlockTrace> traces(samples.size());
-    std::vector<std::vector<LaneTrace>> slot_lanes(
-        static_cast<std::size_t>(slots));
-    detail::for_each_block(
-        pool, samples.size(),
-        [&](int slot, std::uint64_t i) {
-          BlockRunner& r = runners.at(slot);
-          r.set_cancel_token(cancel);
-          auto& lanes = slot_lanes[static_cast<std::size_t>(slot)];
-          lanes.resize(static_cast<std::size_t>(threads));
-          for (auto& l : lanes) l.clear();
-          BlockEnv env{&r, grid, block,
-                       delinearize(static_cast<unsigned>(samples[i]), grid)};
-          run_block(r, [&](int tid) {
-            TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
-            kernel(ctx, args...);
-          });
-          traces[i] = collect_block_trace(spec, lanes);
-        },
-        cancel);
-    stats.smem_per_block = runners.smem_bytes_used();
-    stats.trace = TraceSummary::summarize(traces);
+    if (!samples.empty()) {
+      std::vector<BlockTrace> traces(samples.size());
+      std::vector<std::vector<LaneTrace>> slot_lanes(
+          static_cast<std::size_t>(slots));
+      detail::for_each_block(
+          pool, samples.size(),
+          [&](int slot, std::uint64_t i) {
+            BlockRunner& r = runners.at(slot);
+            r.set_cancel_token(cancel);
+            auto& lanes = slot_lanes[static_cast<std::size_t>(slot)];
+            lanes.resize(static_cast<std::size_t>(threads));
+            for (auto& l : lanes) l.clear();
+            BlockEnv env{&r, grid, block,
+                         delinearize(static_cast<unsigned>(samples[i]), grid)};
+            run_block(r, [&](int tid) {
+              TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
+              kernel(ctx, args...);
+            });
+            traces[i] = collect_block_trace(spec, lanes);
+          },
+          cancel);
+      stats.smem_per_block = runners.smem_bytes_used();
+      stats.trace = TraceSummary::summarize(traces);
 
-    // ---- Occupancy + timing ----
-    const KernelResources res{opt.regs_per_thread, stats.smem_per_block,
-                              threads};
-    stats.occupancy = compute_occupancy(spec, res);
-    stats.timing =
-        simulate_kernel(spec, stats.occupancy, total_blocks, stats.trace);
+      // ---- Occupancy + timing ----
+      const KernelResources res{opt.regs_per_thread, stats.smem_per_block,
+                                threads};
+      stats.occupancy = compute_occupancy(spec, res);
+      stats.timing =
+          simulate_kernel(spec, stats.occupancy, total_blocks, stats.trace);
 
-    // ---- g80resil modeled watchdog ----
-    // The paper's display-timeout constraint (§5.1) on the simulated clock:
-    // a launch whose modeled device time exceeds the budget is rejected
-    // before the (expensive) sanitize and functional passes run.  This is
-    // deterministic — identical retries fail identically.
-    if (opt.resilience.enabled && opt.resilience.modeled_timeout_s > 0 &&
-        stats.timing.seconds > opt.resilience.modeled_timeout_s) {
-      std::ostringstream os;
-      os << "modeled kernel time " << stats.timing.seconds
-         << " s exceeds the " << opt.resilience.modeled_timeout_s
-         << " s modeled watchdog budget (split the work across launches, "
-            "as the paper's time-sliced simulators do)";
-      dev.raise(Status::kTimeout, os.str());
+      // ---- g80resil modeled watchdog ----
+      // The paper's display-timeout constraint (§5.1) on the simulated
+      // clock: a launch whose modeled device time exceeds the budget is
+      // rejected before the (expensive) sanitize and functional passes run.
+      // This is deterministic — identical retries fail identically.
+      if (opt.resilience.enabled && opt.resilience.modeled_timeout_s > 0 &&
+          stats.timing.seconds > opt.resilience.modeled_timeout_s) {
+        std::ostringstream os;
+        os << "modeled kernel time " << stats.timing.seconds
+           << " s exceeds the " << opt.resilience.modeled_timeout_s
+           << " s modeled watchdog budget (split the work across launches, "
+              "as the paper's time-sliced simulators do)";
+        dev.raise(Status::kTimeout, os.str());
+      }
     }
 
     // ---- g80check sanitize pass ----
@@ -441,6 +502,17 @@ void launch_impl(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
             });
           },
           cancel);
+    }
+
+    // Sample-free fast path: no trace pass ran, so take the shared-memory
+    // footprint from the functional pass (the static __shared__ layout is
+    // identical in every pass) and fill in occupancy — the one model output
+    // that needs no trace.  stats.trace/stats.timing stay empty by design.
+    if (samples.empty()) {
+      stats.smem_per_block = runners.smem_bytes_used();
+      const KernelResources res{opt.regs_per_thread, stats.smem_per_block,
+                                threads};
+      stats.occupancy = compute_occupancy(spec, res);
     }
   } catch (const StatusError& e) {
     dev.record_status(e.status());

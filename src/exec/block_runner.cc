@@ -40,10 +40,15 @@ std::byte* SharedArena::allocate(int tid, std::size_t bytes) {
 }
 
 BlockRunner::BlockRunner(int max_threads, std::size_t smem_capacity,
-                         std::size_t stack_bytes)
-    : stack_bytes_(stack_bytes), shared_(smem_capacity) {
+                         std::size_t stack_bytes, Fiber::Backend backend)
+    : stack_bytes_(stack_bytes), backend_(backend), shared_(smem_capacity) {
   fibers_.reserve(max_threads);
   status_.reserve(max_threads);
+}
+
+void BlockRunner::lane_entry(void* arg) {
+  const auto* lane = static_cast<const LaneArg*>(arg);
+  (*lane->runner->body_)(lane->tid);
 }
 
 void BlockRunner::sync(int tid, SyncPoint at) {
@@ -51,7 +56,9 @@ void BlockRunner::sync(int tid, SyncPoint at) {
                "__syncthreads called in a launch declared barrier-free "
                "(LaunchOptions::uses_sync == false)");
   status_.at(tid) = ThreadStatus::kAtBarrier;
-  sync_points_[tid] = at;
+  // Park-site bookkeeping feeds BarrierSnapshot only; unobserved runs skip
+  // the store (sync_points_ is not even sized then).
+  if (observer_ != nullptr) sync_points_[tid] = at;
   fibers_[tid]->yield();
   // Resumed: the barrier released.
   status_[tid] = ThreadStatus::kRunning;
@@ -76,17 +83,31 @@ void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
   G80_CHECK(num_threads > 0);
   direct_mode_ = false;
   while (static_cast<int>(fibers_.size()) < num_threads)
-    fibers_.push_back(std::make_unique<Fiber>(stack_bytes_));
+    fibers_.push_back(std::make_unique<Fiber>(stack_bytes_, backend_));
   status_.assign(num_threads, ThreadStatus::kRunning);
-  sync_points_.assign(num_threads, SyncPoint{});
+  if (observer_ != nullptr) sync_points_.assign(num_threads, SyncPoint{});
   exited_this_interval_.clear();
   shared_.begin_block();
   barriers_executed_ = 0;
 
+  // Arm one fiber per lane through the raw entry point: the body lives once
+  // on the runner and each lane carries a stable (runner, tid) pair, so
+  // arming a 256-thread block allocates nothing.  Resize before arming —
+  // the fibers hold pointers into lane_args_, so it must not move later.
+  body_ = &body;
+  if (static_cast<int>(lane_args_.size()) < num_threads) {
+    lane_args_.resize(num_threads);
+    for (int t = 0; t < num_threads; ++t) lane_args_[t] = LaneArg{this, t};
+  }
   for (int t = 0; t < num_threads; ++t) {
     shared_.begin_thread(t);
-    fibers_[t]->start([this, t, &body] { body(t); });
+    fibers_[t]->start(&BlockRunner::lane_entry, &lane_args_[t]);
   }
+
+  const int num_warps = (num_threads + kWarpSize - 1) / kWarpSize;
+  warp_live_.assign(num_warps, 0);
+  for (int w = 0; w < num_warps; ++w)
+    warp_live_[w] = std::min(kWarpSize, num_threads - w * kWarpSize);
 
   int live = num_threads;
   while (live > 0) {
@@ -95,17 +116,39 @@ void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
     // threads synchronize forever.  Suspended fibers are abandoned here and
     // re-armed from scratch on the next run().
     if (cancel_ != nullptr) cancel_->check("block barrier scheduler");
-    // One scheduling pass: advance every thread that is not done and not
-    // already parked at the (unreleased) barrier.
-    for (int t = 0; t < num_threads; ++t) {
-      if (status_[t] != ThreadStatus::kRunning) continue;
-      const Fiber::State st = fibers_[t]->resume();
-      if (st == Fiber::State::kDone) {
-        status_[t] = ThreadStatus::kDone;
-        --live;
-        if (observer_) exited_this_interval_.push_back(t);
+    // One scheduling pass: advance every live thread to its next barrier or
+    // exit, one warp at a time.  Invariant at pass start: every live lane
+    // is kRunning (fresh arm, or the release below flipped it back).
+    for (int w = 0; w < num_warps; ++w) {
+      int& warp_live = warp_live_[w];
+      if (warp_live == 0) continue;
+      const int lane_begin = w * kWarpSize;
+      const int lane_end = std::min(num_threads, lane_begin + kWarpSize);
+      if (observer_ == nullptr && warp_live == lane_end - lane_begin) {
+        // Converged warp: all lanes live, all runnable by the invariant —
+        // one batched dispatch, no per-lane status reads.
+        for (int t = lane_begin; t < lane_end; ++t) {
+          if (fibers_[t]->resume() == Fiber::State::kDone) {
+            status_[t] = ThreadStatus::kDone;
+            --warp_live;
+            --live;
+          }
+        }
+      } else {
+        // Divergent termination within the warp (or an observer needs exit
+        // accounting): step lanes individually, same thread-index order.
+        for (int t = lane_begin; t < lane_end; ++t) {
+          if (status_[t] != ThreadStatus::kRunning) continue;
+          const Fiber::State st = fibers_[t]->resume();
+          if (st == Fiber::State::kDone) {
+            status_[t] = ThreadStatus::kDone;
+            --warp_live;
+            --live;
+            if (observer_) exited_this_interval_.push_back(t);
+          }
+          // kSuspended means sync() parked it; status_ already kAtBarrier.
+        }
       }
-      // kSuspended means sync() parked it; status_ already kAtBarrier.
     }
     if (live == 0) break;
 

@@ -7,6 +7,14 @@
 // behaviour (barriers count only active threads; CUDA formally leaves a
 // barrier reached by a strict subset of threads undefined).  Deadlock is
 // impossible under this scheduler.
+//
+// The scheduling pass mirrors the paper's warp model (§3): lanes advance in
+// warp-sized groups, and a converged warp — all 32 lanes still live — is
+// stepped in one batched dispatch with no per-lane status checks.  A warp
+// falls back to per-lane stepping once lanes exit at different trip counts
+// (divergent termination) or while a BarrierObserver is attached (g80check
+// needs per-lane exit accounting).  Both paths run lanes in the same
+// thread-index order, so results are bit-identical by construction.
 #pragma once
 
 #include <cstddef>
@@ -76,9 +84,12 @@ class SharedArena {
 class BlockRunner {
  public:
   // `max_threads` bounds the fiber pool; `smem_capacity` is the SM's shared
-  // memory size (a block exceeding it fails at launch, not here).
+  // memory size (a block exceeding it fails at launch, not here).  `backend`
+  // picks the fiber switch engine (requests for the fast engine degrade to
+  // ucontext in sanitized builds — see Fiber).
   BlockRunner(int max_threads, std::size_t smem_capacity,
-              std::size_t stack_bytes = 128 * 1024);
+              std::size_t stack_bytes = 128 * 1024,
+              Fiber::Backend backend = Fiber::default_backend());
 
   // Run `num_threads` threads, each executing body(tid).  Bodies may call
   // sync(tid) any number of times.
@@ -111,11 +122,30 @@ class BlockRunner {
  private:
   enum class ThreadStatus { kRunning, kAtBarrier, kDone };
 
+  // Simulated warp width: the scheduling pass advances lanes in warp-sized
+  // groups, and a warp whose lanes are all live is stepped in one batched
+  // sweep with no per-lane status bookkeeping (see run()).
+  static constexpr int kWarpSize = 32;
+
+  // Raw fiber entry: `arg` is a LaneArg; calls (*runner->body_)(tid).  Using
+  // a plain function pointer instead of a per-lane capturing lambda keeps
+  // fiber arming allocation-free (the old path heap-allocated one
+  // std::function per thread per block).
+  struct LaneArg {
+    BlockRunner* runner = nullptr;
+    int tid = 0;
+  };
+  static void lane_entry(void* arg);
+
   std::size_t stack_bytes_;
+  Fiber::Backend backend_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<ThreadStatus> status_;
   std::vector<SyncPoint> sync_points_;  // where each parked thread waits
   std::vector<int> exited_this_interval_;
+  std::vector<LaneArg> lane_args_;      // stable per-lane entry arguments
+  std::vector<int> warp_live_;          // live (not yet exited) lanes per warp
+  const std::function<void(int)>* body_ = nullptr;  // valid during run()
   SharedArena shared_;
   int barriers_executed_ = 0;
   bool direct_mode_ = false;

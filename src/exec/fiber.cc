@@ -1,6 +1,9 @@
 #include "exec/fiber.h"
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
 
 #include "common/error.h"
 
@@ -35,6 +38,25 @@
 
 #ifdef G80_TSAN_FIBERS
 #include <sanitizer/tsan_interface.h>
+#endif
+
+// The hand-rolled switch has no sanitizer annotations by design — it is only
+// eligible when neither sanitizer is instrumenting stacks.
+#if defined(__x86_64__) && !defined(G80_ASAN_FIBERS) && !defined(G80_TSAN_FIBERS)
+#define G80_FIBER_FAST 1
+#else
+#define G80_FIBER_FAST 0
+#endif
+
+#if G80_FIBER_FAST
+extern "C" {
+// fiber_ctx.S: save callee-saved state on the current stack, store the
+// resulting rsp through save_sp, then pivot to load_sp and restore.
+void g80_ctx_swap(void** save_sp, void* load_sp) noexcept;
+// First-entry thunk; only its address is used (planted as the return
+// address of a freshly armed stack).
+void g80_ctx_entry() noexcept;
+}
 #endif
 
 namespace g80 {
@@ -92,20 +114,53 @@ inline void tsan_switch_to(void* fiber) {
 
 }  // namespace
 
-Fiber::Fiber(std::size_t stack_bytes) : stack_(stack_bytes) {
+bool Fiber::fast_backend_supported() { return G80_FIBER_FAST != 0; }
+
+Fiber::Backend Fiber::default_backend() {
+#if G80_FIBER_FAST
+  // Escape hatch: G80_FIBER_BACKEND=ucontext forces the legacy engine
+  // process-wide (checked once; fibers are created on many threads).
+  static const bool force_ucontext = [] {
+    const char* env = std::getenv("G80_FIBER_BACKEND");
+    return env != nullptr && std::string_view(env) == "ucontext";
+  }();
+  return force_ucontext ? Backend::kUcontext : Backend::kFast;
+#else
+  return Backend::kUcontext;
+#endif
+}
+
+Fiber::Fiber(std::size_t stack_bytes, Backend backend)
+    : stack_(stack_bytes),
+      backend_(backend == Backend::kFast && fast_backend_supported()
+                   ? Backend::kFast
+                   : Backend::kUcontext) {
   G80_CHECK(stack_bytes >= 16 * 1024);
 }
 
 Fiber::~Fiber() { tsan_destroy_fiber(tsan_fiber_); }
 
 void Fiber::start(std::function<void()> body) {
+  body_ = std::move(body);
+  raw_entry_ = nullptr;
+  raw_arg_ = nullptr;
+  arm_common();
+}
+
+void Fiber::start(RawEntry entry, void* arg) {
+  raw_entry_ = entry;
+  raw_arg_ = arg;
+  if (body_) body_ = nullptr;  // drop captures from a previous arming
+  arm_common();
+}
+
+void Fiber::arm_common() {
   // Re-arming is allowed from ANY state: after a sibling thread throws, a
   // launch is abandoned with fibers left kRunnable (armed, never entered) or
   // kSuspended (parked mid-kernel).  Both are re-armed from scratch; old
   // stack frames are discarded without unwinding (locals leak), which is
   // acceptable in this fail-fast simulator.  The scheduler never calls
   // start() from inside a fiber, so the stack being rebuilt is never live.
-  body_ = std::move(body);
   pending_exception_ = nullptr;
 
   // A fresh TSan context per arming: an abandoned run's happens-before
@@ -113,6 +168,15 @@ void Fiber::start(std::function<void()> body) {
   tsan_destroy_fiber(tsan_fiber_);
   tsan_fiber_ = tsan_create_fiber();
 
+  if (backend_ == Backend::kFast) {
+    arm_fast();
+  } else {
+    arm_ucontext();
+  }
+  state_ = State::kRunnable;
+}
+
+void Fiber::arm_ucontext() {
   G80_CHECK(getcontext(&context_) == 0);
   context_.uc_stack.ss_sp = stack_.data();
   context_.uc_stack.ss_size = stack_.size();
@@ -123,7 +187,35 @@ void Fiber::start(std::function<void()> body) {
   const auto hi = static_cast<unsigned>(self >> 32);
   const auto lo = static_cast<unsigned>(self & 0xFFFFFFFFu);
   makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2, hi, lo);
-  state_ = State::kRunnable;
+}
+
+void Fiber::arm_fast() {
+#if G80_FIBER_FAST
+  // Build the initial frame g80_ctx_swap will restore; the layout contract
+  // lives at the top of fiber_ctx.S.  Arming is just ~64 bytes of stores —
+  // no syscall, no allocation — so it is cheap enough to do per block.
+  char* top = stack_.data() + stack_.size();
+  top -= reinterpret_cast<std::uintptr_t>(top) & 15;  // 16-byte align
+  auto put = [&](int off, std::uint64_t v) {
+    std::memcpy(top - off, &v, sizeof v);
+  };
+  put(8, reinterpret_cast<std::uint64_t>(&g80_ctx_entry));
+  put(16, 0);  // rbp
+  put(24, 0);  // rbx
+  put(32, reinterpret_cast<std::uint64_t>(this));  // r12 -> first argument
+  put(40, reinterpret_cast<std::uint64_t>(&Fiber::fast_trampoline));  // r13
+  put(48, 0);  // r14
+  put(56, 0);  // r15
+  // Seed the fiber's FP control state from the arming thread's.
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  std::memcpy(top - 64, &mxcsr, sizeof mxcsr);
+  std::memcpy(top - 60, &fcw, sizeof fcw);
+  fast_sp_ = top - 64;
+#else
+  G80_CHECK_MSG(false, "fast fiber backend is not available in this build");
+#endif
 }
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
@@ -132,12 +224,38 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   reinterpret_cast<Fiber*>(self)->run_body();
 }
 
+void Fiber::fast_trampoline(void* self_ptr) {
+#if G80_FIBER_FAST
+  auto* self = static_cast<Fiber*>(self_ptr);
+  try {
+    if (self->raw_entry_ != nullptr) {
+      self->raw_entry_(self->raw_arg_);
+    } else {
+      self->body_();
+    }
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->state_ = State::kDone;
+  // Final switch out; this stack is dead, the saved sp is never resumed.
+  void* dead_sp = nullptr;
+  g80_ctx_swap(&dead_sp, self->fast_sched_sp_);
+  __builtin_unreachable();
+#else
+  (void)self_ptr;
+#endif
+}
+
 void Fiber::run_body() {
   // First entry onto this stack: no fake stack to restore (nullptr), and
   // learn the scheduler's stack bounds for the yields/exit that follow.
   asan_finish_switch(nullptr, &sched_stack_bottom_, &sched_stack_size_);
   try {
-    body_();
+    if (raw_entry_ != nullptr) {
+      raw_entry_(raw_arg_);
+    } else {
+      body_();
+    }
   } catch (...) {
     pending_exception_ = std::current_exception();
   }
@@ -152,12 +270,19 @@ Fiber::State Fiber::resume() {
   G80_CHECK_MSG(state_ == State::kRunnable || state_ == State::kSuspended,
                 "resume of a fiber that is not paused");
   state_ = State::kRunnable;
-  tsan_sched_fiber_ = tsan_current_fiber();
-  void* fake_stack_save = nullptr;
-  asan_start_switch(&fake_stack_save, stack_.data(), stack_.size());
-  tsan_switch_to(tsan_fiber_);
-  G80_CHECK(swapcontext(&return_context_, &context_) == 0);
-  asan_finish_switch(fake_stack_save, nullptr, nullptr);
+#if G80_FIBER_FAST
+  if (backend_ == Backend::kFast) {
+    g80_ctx_swap(&fast_sched_sp_, fast_sp_);
+  } else
+#endif
+  {
+    tsan_sched_fiber_ = tsan_current_fiber();
+    void* fake_stack_save = nullptr;
+    asan_start_switch(&fake_stack_save, stack_.data(), stack_.size());
+    tsan_switch_to(tsan_fiber_);
+    G80_CHECK(swapcontext(&return_context_, &context_) == 0);
+    asan_finish_switch(fake_stack_save, nullptr, nullptr);
+  }
   if (pending_exception_) {
     auto ex = pending_exception_;
     pending_exception_ = nullptr;
@@ -168,6 +293,12 @@ Fiber::State Fiber::resume() {
 
 void Fiber::yield() {
   state_ = State::kSuspended;
+#if G80_FIBER_FAST
+  if (backend_ == Backend::kFast) {
+    g80_ctx_swap(&fast_sp_, fast_sched_sp_);
+    return;
+  }
+#endif
   void* fake_stack_save = nullptr;
   asan_start_switch(&fake_stack_save, sched_stack_bottom_, sched_stack_size_);
   tsan_switch_to(tsan_sched_fiber_);

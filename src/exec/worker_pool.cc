@@ -2,17 +2,91 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace g80 {
+namespace {
+
+// One contiguous range of unclaimed indices, owned by one slot.  begin/end
+// are atomics only so victim-selection peeks outside the mutex are
+// race-free; all mutation happens under mu.  Cache-line aligned so
+// neighbouring shards don't false-share under contention.
+struct alignas(64) PoolShard {
+  std::mutex mu;
+  std::atomic<std::uint64_t> begin{0};
+  std::atomic<std::uint64_t> end{0};
+};
+
+// Pop a chunk off the front of a shard: ~1/8 of the remainder (at least 1),
+// so chunks start near total/(8*width) and shrink geometrically toward the
+// tail — the same balance/overhead trade the old fixed chunking aimed at,
+// but adaptive to how much of the shard is left after steals.
+bool pop_front(PoolShard& s, std::uint64_t* b, std::uint64_t* e) {
+  std::lock_guard<std::mutex> lk(s.mu);
+  const std::uint64_t begin = s.begin.load(std::memory_order_relaxed);
+  const std::uint64_t end = s.end.load(std::memory_order_relaxed);
+  if (begin >= end) return false;
+  const std::uint64_t take = std::max<std::uint64_t>(1, (end - begin) / 8);
+  *b = begin;
+  *e = begin + take;
+  s.begin.store(*e, std::memory_order_relaxed);
+  return true;
+}
+
+// Take the back half (rounded up) of a victim shard.
+bool steal_back(PoolShard& v, std::uint64_t* b, std::uint64_t* e) {
+  std::lock_guard<std::mutex> lk(v.mu);
+  const std::uint64_t begin = v.begin.load(std::memory_order_relaxed);
+  const std::uint64_t end = v.end.load(std::memory_order_relaxed);
+  if (begin >= end) return false;
+  const std::uint64_t take = (end - begin + 1) / 2;
+  *b = end - take;
+  *e = end;
+  v.end.store(*b, std::memory_order_relaxed);
+  return true;
+}
+
+// Refill `slot`'s (drained) shard from the richest victim.  Extraction and
+// installation never hold two shard locks at once — two slots stealing from
+// each other's shards would otherwise deadlock.  Returns false when every
+// peek came up empty (possibly transiently: a range mid-steal is invisible).
+bool steal_into(PoolShard* shards, int nshards, int slot) {
+  int best = -1;
+  std::uint64_t best_rem = 0;
+  for (int s = 0; s < nshards; ++s) {
+    if (s == slot) continue;
+    // Relaxed peeks: mis-ranking a racing shard is harmless, steal_back
+    // re-checks under the lock.
+    const std::uint64_t b = shards[s].begin.load(std::memory_order_relaxed);
+    const std::uint64_t e = shards[s].end.load(std::memory_order_relaxed);
+    const std::uint64_t rem = e > b ? e - b : 0;
+    if (rem > best_rem) {
+      best_rem = rem;
+      best = s;
+    }
+  }
+  if (best < 0) return false;
+  std::uint64_t b = 0, e = 0;
+  if (!steal_back(shards[best], &b, &e)) return false;
+  // Only the owner ever installs into its shard, and only while it is
+  // empty, so this cannot clobber unclaimed work.
+  std::lock_guard<std::mutex> lk(shards[slot].mu);
+  shards[slot].begin.store(b, std::memory_order_relaxed);
+  shards[slot].end.store(e, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
 
 // One parallel_for in flight.  Lives on the caller's stack; helpers only
 // touch it between registration and the caller's final active==0 wait.
 struct WorkerPool::Job {
   std::uint64_t total = 0;
-  std::uint64_t chunk = 1;
   const std::function<void(int, std::uint64_t)>* body = nullptr;
   const CancelToken* cancel = nullptr;  // optional watchdog token
-  std::atomic<std::uint64_t> next{0};  // next unclaimed index
+  std::unique_ptr<PoolShard[]> shards;  // one per slot, set by parallel_for
+  int nshards = 0;
+  std::atomic<std::uint64_t> claimed{0};  // indices popped by some slot
   std::atomic<int> next_slot{1};       // slot 0 is the caller
   int active = 0;                      // helpers inside work() (guarded by mu_)
   // Lowest-index exception wins, making failures order-independent.
@@ -24,7 +98,7 @@ struct WorkerPool::Job {
 
   bool claimable(int width) const {
     return !cancelled() &&
-           next.load(std::memory_order_relaxed) < total &&
+           claimed.load(std::memory_order_relaxed) < total &&
            next_slot.load(std::memory_order_relaxed) < width;
   }
 };
@@ -51,14 +125,24 @@ int WorkerPool::default_width(int requested) {
 }
 
 void WorkerPool::work(Job& job, int slot) {
+  PoolShard& mine = job.shards[slot];
   for (;;) {
     // Cancellation point: a fired watchdog stops new chunks being claimed;
     // parallel_for converts the skipped remainder into the token's error.
     if (job.cancelled()) return;
-    const std::uint64_t begin =
-        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
-    if (begin >= job.total) return;
-    const std::uint64_t end = std::min(begin + job.chunk, job.total);
+    std::uint64_t begin = 0, end = 0;
+    if (!pop_front(mine, &begin, &end)) {
+      // Own shard drained: steal, then pop from the refilled shard.
+      if (!steal_into(job.shards.get(), job.nshards, slot)) {
+        if (job.claimed.load(std::memory_order_relaxed) >= job.total)
+          return;  // every index was popped by someone
+        // Transient emptiness: a thief holds an extracted range it has not
+        // installed yet.  Let it land rather than exit with work pending.
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    job.claimed.fetch_add(end - begin, std::memory_order_relaxed);
     for (std::uint64_t i = begin; i < end; ++i) {
       try {
         (*job.body)(slot, i);
@@ -82,9 +166,19 @@ void WorkerPool::parallel_for(
   job.total = total;
   job.body = &body;
   job.cancel = cancel;
-  // Small chunks balance heterogeneous block costs; ~8 chunks per slot.
-  job.chunk = std::max<std::uint64_t>(
-      1, total / (static_cast<std::uint64_t>(width_) * 8));
+  // Ceil-partition the index space into one contiguous shard per slot;
+  // slots whose shard drains first rebalance by stealing (see work()).
+  job.nshards = width_;
+  job.shards = std::make_unique<PoolShard[]>(width_);
+  const std::uint64_t base = total / width_;
+  const std::uint64_t extra = total % width_;
+  std::uint64_t pos = 0;
+  for (int s = 0; s < width_; ++s) {
+    const std::uint64_t len = base + (static_cast<std::uint64_t>(s) < extra);
+    job.shards[s].begin.store(pos, std::memory_order_relaxed);
+    job.shards[s].end.store(pos + len, std::memory_order_relaxed);
+    pos += len;
+  }
 
   if (width_ <= 1 || total == 1) {
     work(job, 0);
@@ -106,7 +200,7 @@ void WorkerPool::parallel_for(
   // body exception (above) takes precedence — it usually IS the timeout,
   // thrown from a cancellation check inside the body.
   if (cancel != nullptr && cancel->cancelled() &&
-      job.next.load(std::memory_order_relaxed) < job.total) {
+      job.claimed.load(std::memory_order_relaxed) < job.total) {
     cancel->check("parallel_for");
   }
 }

@@ -12,6 +12,14 @@
 // needs no locking.  Exceptions are recorded with the index that raised
 // them and the lowest-index one is rethrown after the loop drains, so
 // error behaviour is deterministic regardless of thread interleaving.
+//
+// Scheduling is block-chunked work stealing: the index space is
+// pre-partitioned into one contiguous shard per slot, owners pop
+// geometrically shrinking chunks off their shard's front, and a slot whose
+// shard drains steals the back half of the richest remaining shard — so
+// tail blocks of a skewed grid never leave workers idle.  Which slot runs
+// which index is timing-dependent, but every index runs exactly once, so
+// anything keyed by index (block traces, outputs) stays deterministic.
 #pragma once
 
 #include <condition_variable>

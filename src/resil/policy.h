@@ -30,8 +30,9 @@
 namespace g80 {
 
 // Highest graceful-degradation level (see AttemptConfig::fallback_level):
-// 0 = as requested, 1 = sequential blocks, 2 = sequential + 1-block trace
-// sample + sanitize pass skipped.
+// 0 = as requested, 1 = sequential blocks, 2 = sequential + the functional
+// fast path (sanitize pass skipped, no trace sample beyond the one block the
+// modeled watchdog needs if armed — LaunchOptions::fast_path semantics).
 inline constexpr int kMaxFallbackLevel = 2;
 
 struct ResiliencePolicy {

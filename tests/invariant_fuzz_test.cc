@@ -16,7 +16,12 @@
 //   3. an enabled-but-untriggered resilience policy is a no-op: same
 //      outputs, exactly one attempt, clean history;
 //   4. model sanity: occupancy fraction in (0, 1], modeled time positive,
-//      achieved DRAM bandwidth never exceeds the 86.4 GB/s hardware peak.
+//      achieved DRAM bandwidth never exceeds the 86.4 GB/s hardware peak;
+//   5. the functional fast path is invisible in results: for every random
+//      configuration, {fast path on/off} x {sequential, pooled 2, pooled 4}
+//      x {fast/ucontext fiber engine} all produce bit-identical outputs, and
+//      the fast-path LaunchStats themselves are identical whichever
+//      scheduler ran them (empty trace/timing, same occupancy footprint).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -28,6 +33,7 @@
 #include "cudalite/ctx.h"
 #include "cudalite/device.h"
 #include "cudalite/launch.h"
+#include "exec/fiber.h"
 #include "exec/worker_pool.h"
 
 namespace g80 {
@@ -214,6 +220,50 @@ TEST(InvariantFuzz, UntriggeredResiliencePolicyIsNoOp) {
         << c.str();
     EXPECT_DOUBLE_EQ(plain_stats.timing.seconds, res_stats.timing.seconds)
         << c.str();
+  }
+}
+
+TEST(InvariantFuzz, FastPathInvisibleAcrossSchedulersAndFiberEngines) {
+  std::mt19937 rng(fuzz_seed() + 4);
+  WorkerPool pool2(2);
+  WorkerPool pool4(4);
+  std::vector<Fiber::Backend> backends{Fiber::Backend::kUcontext};
+  if (Fiber::fast_backend_supported())
+    backends.push_back(Fiber::Backend::kFast);
+  for (int it = 0; it < fuzz_iters(); ++it) {
+    const auto c = random_config(rng);
+    const auto input = random_input(rng, c.n());
+
+    // Traced sequential run on the default engine is the reference.
+    const auto [ref_out, ref_stats] = run_config(c, input, base_options(c));
+
+    std::vector<LaunchStats> fast_stats;
+    for (Fiber::Backend backend : backends) {
+      for (WorkerPool* pool : {static_cast<WorkerPool*>(nullptr), &pool2,
+                               &pool4}) {
+        LaunchOptions fast = base_options(c);
+        fast.fast_path = true;
+        fast.fiber_backend = backend;
+        fast.pool = pool;
+        const auto [out, stats] = run_config(c, input, fast);
+        EXPECT_EQ(ref_out, out)
+            << c.str() << " pool=" << (pool ? pool->width() : 1)
+            << " backend=" << (backend == Fiber::Backend::kFast ? "fast"
+                                                                : "ucontext");
+        fast_stats.push_back(stats);
+      }
+    }
+    // Every fast-path run reports the same stats, whichever scheduler and
+    // fiber engine produced it: no trace, no modeled timing, but the same
+    // occupancy/footprint numbers the traced run derived.
+    for (const auto& s : fast_stats) {
+      EXPECT_EQ(s.trace.num_blocks, 0) << c.str();
+      EXPECT_EQ(s.timing.seconds, 0.0) << c.str();
+      EXPECT_EQ(s.smem_per_block, ref_stats.smem_per_block) << c.str();
+      EXPECT_EQ(s.occupancy.blocks_per_sm, ref_stats.occupancy.blocks_per_sm)
+          << c.str();
+      EXPECT_EQ(s.occupancy.limiter, ref_stats.occupancy.limiter) << c.str();
+    }
   }
 }
 
