@@ -31,7 +31,10 @@
 #include "common/str.h"
 #include "cudalite/device.h"
 #include "cudalite/launch.h"
+#include "cudalite/trace_arena.h"
 #include "exec/worker_pool.h"
+#include "prof/counters.h"
+#include "prof/profiler.h"
 #include "rt/runtime.h"
 
 using namespace g80;
@@ -60,6 +63,10 @@ struct ScaleKernel {
 
 // Minimum acceptable (4-worker fast path) vs (legacy reference) speedup.
 constexpr double kFloorSpeedupW4 = 2.5;
+
+// Minimum acceptable (batched recorder) vs (legacy per-lane recorder) speedup
+// on the traced, profiler-attached path (ISSUE 9 / ROADMAP item 1).
+constexpr double kFloorSpeedupTraced = 2.0;
 
 int main(int argc, char** argv) {
   bench::Harness h(argc, argv, "rt_throughput");
@@ -127,6 +134,52 @@ int main(int argc, char** argv) {
   for (int workers : {1, 2, 4, 8})
     fast.emplace_back(workers,
                       run_matmul(workers, true, Fiber::default_backend()));
+
+  // ---- Part 1b: traced-path recorder dispatch (batched vs legacy) ----
+  // A profiler-attached launch with a deep trace sample and no functional
+  // pass, so the wall time is dominated by exactly what ISSUE 9 optimizes:
+  // recorder dispatch, trace storage, and the memory analyzers.  Both runs
+  // execute in this process via the ScopedTraceBatch override; modeled
+  // timing, trace summary, and every derived profiler counter must match
+  // bit-for-bit.
+  struct TracedRun {
+    double seconds = 0;
+    KernelTiming timing;
+    TraceSummary trace;
+    prof::KernelCounters counters;
+  };
+  auto run_traced = [&](bool batched) -> TracedRun {
+    ScopedTraceBatch use_batch(batched);
+    Device dev;
+    auto a = dev.alloc<float>(wl.a.size());
+    auto b = dev.alloc<float>(wl.b.size());
+    auto c = dev.alloc<float>(static_cast<std::size_t>(n) * n);
+    a.copy_from_host(wl.a);
+    b.copy_from_host(wl.b);
+    prof::Profiler p;
+    LaunchOptions opt;
+    opt.regs_per_thread = 9;
+    opt.functional = false;  // isolate the traced pipeline
+    opt.sample_blocks = 64;
+    opt.prof.sink = &p;
+    opt.prof.kernel_name = "matmul_traced";
+    const double t0 = now_seconds();
+    const LaunchStats stats = launch(dev, Dim3(n / tile, n / tile),
+                                     Dim3(tile, tile), opt, kernel, a, b, c);
+    const double wall = now_seconds() - t0;
+    return {wall, stats.timing, stats.trace,
+            prof::derive_counters(dev.spec(), stats)};
+  };
+  const TracedRun traced_legacy = run_traced(false);
+  const TracedRun traced_batched = run_traced(true);
+  const bool traced_identical =
+      traced_batched.timing.seconds == traced_legacy.timing.seconds &&
+      traced_batched.timing.kernel_cycles == traced_legacy.timing.kernel_cycles &&
+      traced_batched.trace == traced_legacy.trace &&
+      traced_batched.counters == traced_legacy.counters;
+  const double traced_speedup =
+      traced_batched.seconds > 0 ? traced_legacy.seconds / traced_batched.seconds
+                                 : 0.0;
 
   // ---- Part 2: one stream vs four ----
   const int sn = 1 << 18;  // 1 MB buffers per pipeline
@@ -217,6 +270,26 @@ int main(int argc, char** argv) {
     row.set("floor_speedup_w4", kFloorSpeedupW4);
     row.set("wall_speedup_w4", fast_w4_speedup);
   }
+  h.human() << "traced-path recorder (prof attached, sample_blocks=64, no "
+               "functional pass):\n";
+  h.human() << "  legacy per-lane: " << fixed(traced_legacy.seconds, 4)
+            << " s wall\n";
+  h.human() << "  batched (arena): " << fixed(traced_batched.seconds, 4)
+            << " s wall (" << fixed(traced_speedup, 2)
+            << "x), stats bit identical: " << (traced_identical ? "yes" : "NO")
+            << "\n";
+  {
+    // Gate row for the batched recorder path: same one-sided floor_ contract
+    // as fastpath_gate.  bit_identical compares modeled timing, the full
+    // TraceSummary (every warp counter and per-site row), and all derived
+    // profiler counters between the two recorder paths.
+    auto& row = h.result("traced_gate");
+    row.set("floor_speedup_traced", kFloorSpeedupTraced);
+    row.set("wall_speedup_traced", traced_speedup);
+    row.set("wall_seconds_legacy", traced_legacy.seconds);
+    row.set("wall_seconds_batched", traced_batched.seconds);
+    row.set("bit_identical", traced_identical ? 1 : 0);
+  }
 
   const double saving_pct = 100.0 * (four_serial - four_total) /
                             (four_serial > 0 ? four_serial : 1.0);
@@ -250,6 +323,17 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: 4-worker fast path speedup " << fixed(fast_w4_speedup, 2)
               << "x vs legacy is below the " << fixed(kFloorSpeedupW4, 1)
               << "x floor (ROADMAP item 1 regression)\n";
+    return 1;
+  }
+  if (!traced_identical) {
+    std::cerr << "FAIL: batched recorder stats diverged from the legacy "
+                 "per-lane recorder\n";
+    return 1;
+  }
+  if (traced_speedup < kFloorSpeedupTraced) {
+    std::cerr << "FAIL: batched traced-path speedup " << fixed(traced_speedup, 2)
+              << "x vs the legacy recorder is below the "
+              << fixed(kFloorSpeedupTraced, 1) << "x floor\n";
     return 1;
   }
   return rc;

@@ -15,6 +15,7 @@
 //
 // Exits non-zero if either half fails, so scripts/run_benches.sh doubles as
 // a correctness gate for the telemetry layer.
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <iostream>
@@ -43,6 +44,12 @@ double series_sum(const std::vector<double>& v) {
   return s;
 }
 
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,20 +66,24 @@ int main(int argc, char** argv) {
   db.copy_from_host(wl.b);
 
   const MatmulTiledKernel kernel{n, tile, /*unrolled=*/true};
-  const auto run = [&](scope::Session* sink, std::vector<float>* out) {
+  double wall_off = 0, wall_on = 0;
+  const auto run = [&](scope::Session* sink, std::vector<float>* out,
+                       double* wall) {
     LaunchOptions opt;
     opt.regs_per_thread = 9;
     opt.scope.sink = sink;
+    const double t0 = now_seconds();
     const LaunchStats s = launch(dev, Dim3(n / tile, n / tile),
                                  Dim3(tile, tile), opt, kernel, da, db, dc);
+    *wall = now_seconds() - t0;
     *out = dc.copy_to_host();
     return s;
   };
 
   std::vector<float> out_off, out_on;
-  const LaunchStats off = run(nullptr, &out_off);
+  const LaunchStats off = run(nullptr, &out_off, &wall_off);
   scope::Session session;
-  const LaunchStats on = run(&session, &out_on);
+  const LaunchStats on = run(&session, &out_on, &wall_on);
 
   // ---- Half 1: bit-identical with the scope attached ----
   const bool outputs_identical =
@@ -152,6 +163,11 @@ int main(int argc, char** argv) {
     r.set("num_buckets", sc.num_buckets);
     r.set("num_sites", static_cast<double>(sc.sites.size()));
     r.set("horizon_cycles", sc.horizon_cycles);
+    // Wall-clock overhead of attaching the scope (wall_ metrics are context
+    // only — excluded from baseline regression).
+    r.set("wall_seconds_off", wall_off);
+    r.set("wall_seconds_on", wall_on);
+    r.set("wall_overhead_ratio", wall_off > 0 ? wall_on / wall_off : 0.0);
   }
 
   const bool ok =

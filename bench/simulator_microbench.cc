@@ -5,9 +5,13 @@
 // 13-app suite) tractable.
 #include <benchmark/benchmark.h>
 
+#include <source_location>
+
 #include "cudalite/ctx.h"
 #include "cudalite/device.h"
 #include "cudalite/launch.h"
+#include "cudalite/recorder.h"
+#include "cudalite/trace_arena.h"
 #include "exec/block_runner.h"
 #include "mem/bank_conflict.h"
 #include "mem/coalescing.h"
@@ -113,6 +117,40 @@ void BM_FunctionalLaunch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * blocks * 256);
 }
 BENCHMARK(BM_FunctionalLaunch)->Arg(16)->Arg(256);
+
+// Recorder cost on a many-site kernel, the note_site pathology: cycling
+// through S distinct sites defeats the most-recent memo, so the legacy
+// recorder pays an O(S) linear scan per access while the arena path pays one
+// memo compare plus an O(1) intern probe.  Args are {distinct sites,
+// batched? 1 : 0}; compare the 0/1 rows at each site count.
+void BM_RecorderManySites(benchmark::State& state) {
+  const int sites = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  constexpr int kAccesses = 4096;
+  LaneTrace lane;
+  TraceArena arena;
+  const std::source_location loc = std::source_location::current();
+  for (auto _ : state) {
+    lane.clear();
+    TraceArena* ap = nullptr;
+    if (batched) {
+      arena.begin_block(kSpec, 32);
+      ap = &arena;
+    }
+    LaneRecorder rec(&lane, ap, 0);
+    for (int i = 0; i < kAccesses; ++i) {
+      const auto site = static_cast<std::uint32_t>(i % sites) + 1;
+      rec.mem(OpClass::kLoadGlobal, static_cast<std::uint64_t>(i) * 4, 4,
+              site, loc);
+    }
+    benchmark::DoNotOptimize(lane.site_notes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kAccesses);
+}
+BENCHMARK(BM_RecorderManySites)
+    ->Args({4, 0})->Args({4, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({512, 0})->Args({512, 1});
 
 void BM_TracedLaunch(benchmark::State& state) {
   Device dev;

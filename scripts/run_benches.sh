@@ -32,6 +32,7 @@ benches=(
   micro_access_patterns
   ablation_bankconflict
   rt_throughput
+  prof_overhead
   scope_overhead
   resil_campaign
   serve_loadtest

@@ -8,6 +8,16 @@
 // bank-conflict / constant-broadcast analyzers on each reconstructed warp
 // access.  Site-keyed grouping stays correct even when divergent lanes
 // execute different numbers of accesses.
+//
+// On the default traced path the four per-space access vectors below stay
+// EMPTY: the recorder streams accesses into the launch slot's TraceArena
+// (trace_arena.h), which reconstructs the warp-level instructions
+// positionally while recording, and the collector reads them off the
+// arena's SoA rows.  The AoS vectors remain the storage for the legacy
+// pipeline (G80_TRACE_BATCH=off, direct collect_block_trace callers) —
+// both produce bit-identical BlockTraces.  Everything else in LaneTrace
+// (op counts, flops, branches, syncs, site notes) is recorded per lane on
+// both paths.
 #pragma once
 
 #include <cstdint>

@@ -28,6 +28,7 @@
 #include "common/error.h"
 #include "cudalite/ctx.h"
 #include "cudalite/device.h"
+#include "cudalite/trace_arena.h"
 #include "cudalite/trace_collect.h"
 #include "exec/block_runner.h"
 #include "exec/cancel.h"
@@ -410,6 +411,14 @@ void launch_impl(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
       std::vector<BlockTrace> traces(samples.size());
       std::vector<std::vector<LaneTrace>> slot_lanes(
           static_cast<std::size_t>(slots));
+      // Batched recording (default; G80_TRACE_BATCH=off / ScopedTraceBatch
+      // forces the legacy per-lane pipeline): each slot owns a TraceArena
+      // whose SoA row capacity carries across the blocks it traces, so
+      // steady-state recording allocates nothing.  Both pipelines produce
+      // bit-identical BlockTraces (tests/trace_batch_test.cc).
+      const bool batch = trace_batch_enabled();
+      std::vector<TraceArena> slot_arenas(
+          batch ? static_cast<std::size_t>(slots) : 0);
       detail::for_each_block(
           pool, samples.size(),
           [&](int slot, std::uint64_t i) {
@@ -418,13 +427,19 @@ void launch_impl(Device& dev, Dim3 grid, Dim3 block, const LaunchOptions& opt,
             auto& lanes = slot_lanes[static_cast<std::size_t>(slot)];
             lanes.resize(static_cast<std::size_t>(threads));
             for (auto& l : lanes) l.clear();
+            TraceArena* arena = nullptr;
+            if (batch) {
+              auto& a = slot_arenas[static_cast<std::size_t>(slot)];
+              a.begin_block(spec, threads);
+              if (a.active()) arena = &a;
+            }
             BlockEnv env{&r, grid, block,
                          delinearize(static_cast<unsigned>(samples[i]), grid)};
             run_block(r, [&](int tid) {
-              TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid]));
+              TraceCtx ctx(&env, tid, LaneRecorder(&lanes[tid], arena, tid));
               kernel(ctx, args...);
             });
-            traces[i] = collect_block_trace(spec, lanes);
+            traces[i] = collect_block_trace(spec, lanes, arena);
           },
           cancel);
       stats.smem_per_block = runners.smem_bytes_used();

@@ -4,13 +4,22 @@
 //  - NullRecorder: every hook is an empty inline function; the functional
 //    pass over the full grid runs at native C++ speed.
 //  - LaneRecorder: hooks append to the thread's LaneTrace for the timing
-//    model (used on sampled blocks only).
+//    model (used on sampled blocks only).  When a TraceArena is attached
+//    (the default traced path), memory accesses bypass the lane's AoS
+//    vectors and stream into the arena's per-(warp, space) SoA batches, and
+//    note_site replaces its linear scan with a last-site memo plus the
+//    arena's O(1) block-level intern table (trace_arena.h).  Without an
+//    arena (the G80_TRACE_BATCH=off escape hatch, or direct LaneRecorder
+//    construction) the original per-lane pipeline runs unchanged, byte for
+//    byte — it is the bit-identity reference tests/trace_batch_test.cc
+//    compares against.
 #pragma once
 
 #include <cstdint>
 #include <source_location>
 
 #include "cudalite/lane_trace.h"
+#include "cudalite/trace_arena.h"
 #include "hw/isa.h"
 
 namespace g80 {
@@ -36,7 +45,20 @@ class LaneRecorder {
   static constexpr bool kTracing = true;
   static constexpr bool kSanitizing = false;
 
-  explicit LaneRecorder(LaneTrace* lane) : lane_(lane) {}
+  // `arena` routes memory accesses into SoA batch streams (and, with it,
+  // `lane_id` locates this lane's warp slot); nullptr keeps the legacy
+  // per-lane AoS pipeline.
+  explicit LaneRecorder(LaneTrace* lane, TraceArena* arena = nullptr,
+                        int lane_id = 0)
+      : lane_(lane) {
+    if (arena != nullptr && arena->active()) {
+      arena_ = arena;
+      const int ws = arena->warp_size();
+      sub_ = lane_id % ws;
+      for (int s = 0; s < kNumTraceSpaces; ++s)
+        streams_[s] = arena->stream(lane_id / ws, s);
+    }
+  }
 
   void count(OpClass c, int n = 1) {
     lane_->ops[c] += static_cast<std::uint64_t>(n);
@@ -49,6 +71,11 @@ class LaneRecorder {
     note_site(site, loc);
     const bool store =
         c == OpClass::kStoreGlobal || c == OpClass::kStoreShared;
+    if (arena_ != nullptr) {
+      const int space = trace_space_of(c);
+      if (space >= 0) streams_[space]->record(sub_, site, size, store, addr);
+      return;
+    }
     const MemAccess a{addr, size, site, true, store};
     switch (c) {
       case OpClass::kLoadGlobal:
@@ -72,6 +99,18 @@ class LaneRecorder {
 
  private:
   void note_site(std::uint32_t site, const std::source_location& loc) {
+    if (arena_ != nullptr) {
+      // Last-site memo (kernels hammer one site in a loop) + O(1) intern.
+      // Block-level dedup: the first lane in the block to use a site holds
+      // its note; the collector scans all lanes, so attribution is
+      // content-identical to the per-lane legacy notes.
+      if (last_site_ == site) return;
+      last_site_ = site;
+      if (arena_->intern_site(site))
+        lane_->site_notes.push_back({site, loc.file_name(), loc.line()});
+      return;
+    }
+    // Legacy reference path: most-recent memo, then an O(sites) scan.
     auto& notes = lane_->site_notes;
     if (!notes.empty() && notes.back().site == site) return;
     for (const SiteNote& n : notes) {
@@ -81,6 +120,10 @@ class LaneRecorder {
   }
 
   LaneTrace* lane_;
+  TraceArena* arena_ = nullptr;
+  WarpSpaceBatch* streams_[kNumTraceSpaces] = {};
+  int sub_ = 0;                          // lane index within its warp
+  std::uint64_t last_site_ = ~0ull;      // no site seen yet
 };
 
 }  // namespace g80

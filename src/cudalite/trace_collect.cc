@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "cudalite/trace_arena.h"
 #include "mem/bank_conflict.h"
 #include "mem/coalescing.h"
 #include "mem/const_cache.h"
@@ -28,27 +29,41 @@ struct InstKeyHash {
   }
 };
 
-// Reconstructs the warp-level instructions of one address space for the
-// lanes [lo, hi): groups per-lane accesses by (site, occurrence) and returns
-// them in first-appearance order.
-std::vector<WarpAccess> group_warp_instructions(
-    const std::vector<LaneTrace>& lanes, int lo, int hi,
-    std::vector<MemAccess> LaneTrace::*space, int warp_size) {
+// Reconstructs the warp-level instructions of one address space from
+// arbitrary per-lane access sequences (lane k's sequence is `get(k)`):
+// groups by (site, occurrence) and returns them in first-appearance order.
+// This is the exact semantics the arena's positional rows reproduce for
+// clean streams; dirty streams and the legacy pipeline come through here.
+template <class GetSeq>
+std::vector<WarpAccess> group_warp_instructions_impl(int lane_count,
+                                                     GetSeq&& get,
+                                                     int warp_size) {
   std::unordered_map<InstKey, std::size_t, InstKeyHash> index;
   std::vector<WarpAccess> groups;
   std::unordered_map<std::uint32_t, std::uint32_t> occurrence;
 
-  for (int k = lo; k < hi; ++k) {
+  for (int k = 0; k < lane_count; ++k) {
     occurrence.clear();
-    const auto& seq = lanes[static_cast<std::size_t>(k)].*space;
+    const std::vector<MemAccess>& seq = get(k);
     for (const MemAccess& a : seq) {
       const InstKey key{a.site, occurrence[a.site]++};
       auto [it, inserted] = index.emplace(key, groups.size());
       if (inserted) groups.emplace_back(warp_size);
-      groups[it->second][static_cast<std::size_t>(k - lo)] = a;
+      groups[it->second][static_cast<std::size_t>(k)] = a;
     }
   }
   return groups;
+}
+
+std::vector<WarpAccess> group_warp_instructions(
+    const std::vector<LaneTrace>& lanes, int lo, int hi,
+    std::vector<MemAccess> LaneTrace::*space, int warp_size) {
+  return group_warp_instructions_impl(
+      hi - lo,
+      [&](int k) -> const std::vector<MemAccess>& {
+        return lanes[static_cast<std::size_t>(lo + k)].*space;
+      },
+      warp_size);
 }
 
 // The call site of one reconstructed warp instruction: every grouped lane
@@ -58,6 +73,14 @@ std::uint32_t group_site(const WarpAccess& acc) {
     if (a.active) return a.site;
   }
   return 0;
+}
+
+// Direction of one warp instruction (static property; any active lane).
+bool group_store(const WarpAccess& acc) {
+  for (const MemAccess& a : acc) {
+    if (a.active) return a.store;
+  }
+  return false;
 }
 
 // Per-site accumulator for the g80scope attribution (few distinct sites per
@@ -94,17 +117,112 @@ class SiteAccumulator {
   std::vector<SiteStats> sites_;
 };
 
+// ---------------------------------------------------------------------------
+// Per-instruction accumulation, shared verbatim by the batched (SoA row) and
+// legacy (WarpAccess group) paths so the two cannot drift apart.
+// ---------------------------------------------------------------------------
+
+void accumulate_global(WarpTrace& wt, SiteAccumulator& sites,
+                       std::uint32_t site, bool is_store,
+                       const CoalesceResult& res) {
+  {
+    SiteStats& ss = sites.at(site);
+    ++ss.global_instructions;
+    ss.global_transactions += static_cast<std::uint64_t>(res.transactions);
+    ss.dram_bytes += res.dram_bytes;
+    if (!res.coalesced) ++ss.uncoalesced_instructions;
+    if (res.transactions > 2) {
+      ss.extra_transactions +=
+          static_cast<std::uint64_t>(res.transactions - 2);
+    }
+  }
+  ++wt.global_instructions;
+  wt.global.transactions += static_cast<std::uint64_t>(res.transactions);
+  wt.global.bytes += res.dram_bytes;
+  wt.global.scattered_bytes += res.scattered_bytes;
+  wt.useful_global_bytes += res.useful_bytes;
+  if (res.coalesced) ++wt.coalesced_instructions;
+  // Load/store split for the g80prof gld_*/gst_* counters.
+  if (is_store) {
+    ++wt.gst_instructions;
+    if (res.coalesced) ++wt.gst_coalesced;
+  } else {
+    ++wt.gld_instructions;
+    if (res.coalesced) ++wt.gld_coalesced;
+  }
+}
+
+void accumulate_shared(WarpTrace& wt, SiteAccumulator& sites,
+                       std::uint32_t site, const WarpBankCost& cost) {
+  wt.shared_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
+  sites.at(site).shared_extra_passes +=
+      static_cast<std::uint64_t>(cost.extra_passes);
+}
+
+void accumulate_const(WarpTrace& wt, SiteAccumulator& sites,
+                      std::uint32_t site, const WarpConstCost& cost) {
+  wt.const_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
+  sites.at(site).const_extra_passes +=
+      static_cast<std::uint64_t>(cost.extra_passes);
+}
+
+// Texture misses behave like latency-bound scattered DRAM transactions of
+// one cache line, charged to the warp's global traffic.
+void accumulate_texture(const DeviceSpec& spec, WarpTrace& wt,
+                        SiteAccumulator& sites, std::uint32_t site,
+                        std::uint64_t hits, std::uint64_t misses) {
+  wt.texture_hits += hits;
+  wt.texture_misses += misses;
+  if (misses > 0) {
+    wt.global_instructions += 1;
+    wt.global.transactions += misses;
+    const std::uint64_t b = misses * spec.texture_cache_line;
+    wt.global.bytes += b;
+    wt.global.scattered_bytes += b;
+    SiteStats& ss = sites.at(site);
+    ss.texture_misses += misses;
+    ss.global_transactions += misses;
+    ss.dram_bytes += b;
+  }
+}
+
+// Exact per-lane sequences of a dirty (positionally-diverged) batch stream:
+// each lane's matched prefix rows plus its overflow tail, regrouped through
+// the legacy (site, occurrence) path.  `scratch` is reused across streams.
+std::vector<WarpAccess> regroup_dirty_stream(
+    const WarpSpaceBatch& s, int lane_count,
+    std::vector<std::vector<MemAccess>>& scratch) {
+  if (static_cast<int>(scratch.size()) < lane_count)
+    scratch.resize(static_cast<std::size_t>(lane_count));
+  for (int k = 0; k < lane_count; ++k)
+    s.reconstruct_lane(k, &scratch[static_cast<std::size_t>(k)]);
+  return group_warp_instructions_impl(
+      lane_count,
+      [&](int k) -> const std::vector<MemAccess>& {
+        return scratch[static_cast<std::size_t>(k)];
+      },
+      s.stride);
+}
+
 }  // namespace
 
 BlockTrace collect_block_trace(const DeviceSpec& spec,
                                const std::vector<LaneTrace>& lanes) {
+  return collect_block_trace(spec, lanes, nullptr);
+}
+
+BlockTrace collect_block_trace(const DeviceSpec& spec,
+                               const std::vector<LaneTrace>& lanes,
+                               const TraceArena* arena) {
   G80_CHECK(!lanes.empty());
   const int ws = spec.warp_size;
   const int num_warps = (static_cast<int>(lanes.size()) + ws - 1) / ws;
+  const bool batched = arena != nullptr && arena->active();
 
   BlockTrace block;
   block.warps.resize(num_warps);
   SiteAccumulator sites(lanes);
+  std::vector<std::vector<MemAccess>> scratch;  // dirty-stream reconstruction
 
   // One texture cache per block approximates the per-SM cache shared by the
   // blocks resident on an SM (they run the same kernel, so per-block
@@ -147,87 +265,103 @@ BlockTrace collect_block_trace(const DeviceSpec& spec,
       }
     }
 
+    // The warp's instruction stream per space: a clean batch stream IS the
+    // grouped instruction sequence (one SoA row per warp-level instruction,
+    // in first-appearance order) and feeds the *_soa analyzers directly; a
+    // dirty stream or the legacy pipeline goes through (site, occurrence)
+    // regrouping and the AoS analyzers.
+    const WarpSpaceBatch* bg =
+        batched ? &arena->stream(w, kSpaceGlobal) : nullptr;
+    const WarpSpaceBatch* bs =
+        batched ? &arena->stream(w, kSpaceShared) : nullptr;
+    const WarpSpaceBatch* bc =
+        batched ? &arena->stream(w, kSpaceConst) : nullptr;
+    const WarpSpaceBatch* bt =
+        batched ? &arena->stream(w, kSpaceTexture) : nullptr;
+
     // --- Global memory: coalescing per warp-level instruction ---
-    for (const WarpAccess& acc : group_warp_instructions(
-             lanes, lo, hi, &LaneTrace::global, ws)) {
-      const auto res = analyze_warp(spec, acc);
-      {
-        SiteStats& ss = sites.at(group_site(acc));
-        ++ss.global_instructions;
-        ss.global_transactions += static_cast<std::uint64_t>(res.transactions);
-        ss.dram_bytes += res.dram_bytes;
-        if (!res.coalesced) ++ss.uncoalesced_instructions;
-        if (res.transactions > 2) {
-          ss.extra_transactions +=
-              static_cast<std::uint64_t>(res.transactions - 2);
-        }
+    if (bg != nullptr && !bg->dirty()) {
+      for (std::size_t j = 0; j < bg->rows(); ++j) {
+        const std::uint64_t key = bg->keys[j];
+        const SoaWarpAccess row{bg->masks[j], trace_key_size(key),
+                                bg->row_addrs(j), bg->stride};
+        accumulate_global(wt, sites, trace_key_site(key),
+                          trace_key_store(key), analyze_warp_soa(spec, row));
       }
-      ++wt.global_instructions;
-      wt.global.transactions += static_cast<std::uint64_t>(res.transactions);
-      wt.global.bytes += res.dram_bytes;
-      wt.global.scattered_bytes += res.scattered_bytes;
-      wt.useful_global_bytes += res.useful_bytes;
-      if (res.coalesced) ++wt.coalesced_instructions;
-      // Load/store split for the g80prof gld_*/gst_* counters.  Direction is
-      // a static property of the instruction, so any active lane decides.
-      bool is_store = false;
-      for (const MemAccess& a : acc) {
-        if (a.active) {
-          is_store = a.store;
-          break;
-        }
-      }
-      if (is_store) {
-        ++wt.gst_instructions;
-        if (res.coalesced) ++wt.gst_coalesced;
-      } else {
-        ++wt.gld_instructions;
-        if (res.coalesced) ++wt.gld_coalesced;
+    } else {
+      const auto groups =
+          bg != nullptr
+              ? regroup_dirty_stream(*bg, hi - lo, scratch)
+              : group_warp_instructions(lanes, lo, hi, &LaneTrace::global, ws);
+      for (const WarpAccess& acc : groups) {
+        accumulate_global(wt, sites, group_site(acc), group_store(acc),
+                          analyze_warp(spec, acc));
       }
     }
 
     // --- Shared memory: bank conflicts ---
-    for (const WarpAccess& acc : group_warp_instructions(
-             lanes, lo, hi, &LaneTrace::shared, ws)) {
-      const auto cost = analyze_shared_warp(spec, acc);
-      wt.shared_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
-      sites.at(group_site(acc)).shared_extra_passes +=
-          static_cast<std::uint64_t>(cost.extra_passes);
+    if (bs != nullptr && !bs->dirty()) {
+      for (std::size_t j = 0; j < bs->rows(); ++j) {
+        const std::uint64_t key = bs->keys[j];
+        const SoaWarpAccess row{bs->masks[j], trace_key_size(key),
+                                bs->row_addrs(j), bs->stride};
+        accumulate_shared(wt, sites, trace_key_site(key),
+                          analyze_shared_warp_soa(spec, row));
+      }
+    } else {
+      const auto groups =
+          bs != nullptr
+              ? regroup_dirty_stream(*bs, hi - lo, scratch)
+              : group_warp_instructions(lanes, lo, hi, &LaneTrace::shared, ws);
+      for (const WarpAccess& acc : groups) {
+        accumulate_shared(wt, sites, group_site(acc),
+                          analyze_shared_warp(spec, acc));
+      }
     }
 
     // --- Constant memory: broadcast vs serialization ---
-    for (const WarpAccess& acc : group_warp_instructions(
-             lanes, lo, hi, &LaneTrace::constant, ws)) {
-      const auto cost = analyze_const_warp(spec, acc);
-      wt.const_extra_passes += static_cast<std::uint64_t>(cost.extra_passes);
-      sites.at(group_site(acc)).const_extra_passes +=
-          static_cast<std::uint64_t>(cost.extra_passes);
+    if (bc != nullptr && !bc->dirty()) {
+      for (std::size_t j = 0; j < bc->rows(); ++j) {
+        const std::uint64_t key = bc->keys[j];
+        const SoaWarpAccess row{bc->masks[j], trace_key_size(key),
+                                bc->row_addrs(j), bc->stride};
+        accumulate_const(wt, sites, trace_key_site(key),
+                         analyze_const_warp_soa(spec, row));
+      }
+    } else {
+      const auto groups =
+          bc != nullptr ? regroup_dirty_stream(*bc, hi - lo, scratch)
+                        : group_warp_instructions(lanes, lo, hi,
+                                                  &LaneTrace::constant, ws);
+      for (const WarpAccess& acc : groups) {
+        accumulate_const(wt, sites, group_site(acc),
+                         analyze_const_warp(spec, acc));
+      }
     }
 
-    // --- Texture: run the cache in warp-instruction order; misses behave
-    // like latency-bound scattered DRAM transactions of one cache line. ---
-    for (const WarpAccess& acc : group_warp_instructions(
-             lanes, lo, hi, &LaneTrace::texture, ws)) {
-      std::uint64_t misses_this_inst = 0;
-      for (const MemAccess& a : acc) {
-        if (!a.active) continue;
-        if (tex_cache.access(a.addr)) {
-          ++wt.texture_hits;
-        } else {
-          ++wt.texture_misses;
-          ++misses_this_inst;
-        }
+    // --- Texture: run the cache in warp-instruction order ---
+    if (bt != nullptr && !bt->dirty()) {
+      for (std::size_t j = 0; j < bt->rows(); ++j) {
+        const std::uint64_t key = bt->keys[j];
+        const SoaWarpAccess row{bt->masks[j], trace_key_size(key),
+                                bt->row_addrs(j), bt->stride};
+        const auto res = tex_cache.access_warp_soa(row);
+        accumulate_texture(spec, wt, sites, trace_key_site(key), res.hits,
+                           res.misses);
       }
-      if (misses_this_inst > 0) {
-        wt.global_instructions += 1;
-        wt.global.transactions += misses_this_inst;
-        const std::uint64_t b = misses_this_inst * spec.texture_cache_line;
-        wt.global.bytes += b;
-        wt.global.scattered_bytes += b;
-        SiteStats& ss = sites.at(group_site(acc));
-        ss.texture_misses += misses_this_inst;
-        ss.global_transactions += misses_this_inst;
-        ss.dram_bytes += b;
+    } else {
+      const auto groups =
+          bt != nullptr ? regroup_dirty_stream(*bt, hi - lo, scratch)
+                        : group_warp_instructions(lanes, lo, hi,
+                                                  &LaneTrace::texture, ws);
+      for (const WarpAccess& acc : groups) {
+        std::uint64_t hits = 0, misses = 0;
+        for (const MemAccess& a : acc) {
+          if (!a.active) continue;
+          if (tex_cache.access(a.addr)) ++hits;
+          else ++misses;
+        }
+        accumulate_texture(spec, wt, sites, group_site(acc), hits, misses);
       }
     }
 

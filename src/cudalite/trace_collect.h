@@ -2,6 +2,15 @@
 // reconstructs each warp-level memory instruction from the lanes' k-th
 // accesses, runs the coalescing / bank-conflict / constant-broadcast
 // analyzers, simulates the texture cache, and detects branch divergence.
+//
+// Two entry points produce bit-identical BlockTraces:
+//  - the legacy form groups each lane's AoS access vectors by
+//    (site, occurrence) with per-access hash lookups;
+//  - the arena form (cudalite/trace_arena.h) reads warp-level instructions
+//    straight off the arena's SoA batch rows — clean streams skip grouping
+//    and feed the streaming *_soa analyzers; dirty (positionally-diverged)
+//    streams are reconstructed per lane and regrouped through the legacy
+//    path.
 #pragma once
 
 #include <vector>
@@ -12,7 +21,15 @@
 
 namespace g80 {
 
+class TraceArena;
+
 BlockTrace collect_block_trace(const DeviceSpec& spec,
                                const std::vector<LaneTrace>& lanes);
+
+// Arena-aware overload: `arena` holds the block's batched access streams
+// (nullptr or an inactive arena falls back to the lanes' AoS vectors).
+BlockTrace collect_block_trace(const DeviceSpec& spec,
+                               const std::vector<LaneTrace>& lanes,
+                               const TraceArena* arena);
 
 }  // namespace g80

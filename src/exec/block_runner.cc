@@ -124,19 +124,23 @@ void BlockRunner::run(int num_threads, const std::function<void(int)>& body) {
       if (warp_live == 0) continue;
       const int lane_begin = w * kWarpSize;
       const int lane_end = std::min(num_threads, lane_begin + kWarpSize);
-      if (observer_ == nullptr && warp_live == lane_end - lane_begin) {
+      if (warp_live == lane_end - lane_begin) {
         // Converged warp: all lanes live, all runnable by the invariant —
-        // one batched dispatch, no per-lane status reads.
+        // one batched dispatch, no per-lane status reads.  Exit accounting
+        // for an attached observer happens inline, so observed runs (the
+        // sanitize pass, scope sessions) keep the batched sweep too; only
+        // divergent termination falls back below.
         for (int t = lane_begin; t < lane_end; ++t) {
           if (fibers_[t]->resume() == Fiber::State::kDone) {
             status_[t] = ThreadStatus::kDone;
             --warp_live;
             --live;
+            if (observer_) exited_this_interval_.push_back(t);
           }
         }
       } else {
-        // Divergent termination within the warp (or an observer needs exit
-        // accounting): step lanes individually, same thread-index order.
+        // Divergent termination within the warp: step the surviving lanes
+        // individually, same thread-index order.
         for (int t = lane_begin; t < lane_end; ++t) {
           if (status_[t] != ThreadStatus::kRunning) continue;
           const Fiber::State st = fibers_[t]->resume();

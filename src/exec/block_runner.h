@@ -10,11 +10,19 @@
 //
 // The scheduling pass mirrors the paper's warp model (§3): lanes advance in
 // warp-sized groups, and a converged warp — all 32 lanes still live — is
-// stepped in one batched dispatch with no per-lane status checks.  A warp
-// falls back to per-lane stepping once lanes exit at different trip counts
-// (divergent termination) or while a BarrierObserver is attached (g80check
-// needs per-lane exit accounting).  Both paths run lanes in the same
-// thread-index order, so results are bit-identical by construction.
+// stepped in one batched dispatch with no per-lane status checks (exit
+// accounting for an attached BarrierObserver happens inline, so observed
+// runs keep the batched sweep).  A warp falls back to per-lane stepping
+// once lanes exit at different trip counts (divergent termination).  Both
+// paths run lanes in the same thread-index order, so results are
+// bit-identical by construction.
+//
+// That fixed order is also what makes batched trace recording possible: the
+// lanes of a converged warp replay the same instruction stream one after
+// another, so the trace arena (cudalite/trace_arena.h) can reconstruct each
+// warp-level memory instruction positionally — lane k's j-th access in a
+// space IS the warp's j-th instruction there — turning 32 independent
+// recorder calls into one SoA batch row per instruction.
 #pragma once
 
 #include <cstddef>

@@ -25,4 +25,17 @@ struct MemAccess {
 // `lanes[i]` is lane i's access (inactive lanes have active=false).
 using WarpAccess = std::vector<MemAccess>;
 
+// SoA view of the same thing, as one row of a trace-arena batch
+// (cudalite/trace_arena.h): the static key is uniform across the warp by
+// construction (size, direction), active lanes are a bit mask, and only the
+// addresses vary per lane.  The *_soa analyzer entry points consume this
+// directly — no per-instruction WarpAccess materialization — and are
+// number-for-number equivalent to the AoS analyzers on the expanded warp.
+struct SoaWarpAccess {
+  std::uint32_t mask = 0;   // bit i: lane i active
+  std::uint32_t size = 0;   // uniform access width in bytes
+  const std::uint64_t* addrs = nullptr;  // lane i at addrs[i] (valid iff bit)
+  int lanes = 0;            // warp size (<= 32)
+};
+
 }  // namespace g80

@@ -57,4 +57,81 @@ WarpBankCost analyze_shared_warp(const DeviceSpec& spec, const WarpAccess& warp)
   return cost;
 }
 
+namespace {
+
+// Serialization degree of one SoA half-warp: distinct words via a small
+// insert-unique array (<= 16 lanes x size/4 words in practice), then the
+// worst per-bank degree from a counter table — each distinct word lands in
+// exactly one bank, so counting distinct words per bank equals the legacy
+// per-bank set sizes.
+int half_warp_serialization_soa(const DeviceSpec& spec,
+                                const SoaWarpAccess& row, int lo, int n) {
+  const std::uint32_t half_mask =
+      (n >= 32 ? ~0u : ((1u << n) - 1u)) & (row.mask >> lo);
+  if (half_mask == 0) return 0;  // nothing issued
+  const int banks = spec.shared_mem_banks;
+  const std::uint64_t* addr = row.addrs + lo;
+
+  std::uint64_t words[128];
+  int nwords = 0;
+  bool overflow = banks > 64;  // counter table bound; G80 has 16 banks
+  for (int k = 0; k < n && !overflow; ++k) {
+    if ((half_mask >> k & 1u) == 0) continue;
+    for (std::uint32_t off = 0; off < row.size; off += 4) {
+      const std::uint64_t word = (addr[k] + off) / 4;
+      int i = 0;
+      while (i < nwords && words[i] != word) ++i;
+      if (i == nwords) {
+        if (nwords == 128) {
+          overflow = true;
+          break;
+        }
+        words[nwords++] = word;
+      }
+    }
+  }
+  if (overflow) {
+    // Unusually wide accesses: exact fallback through the legacy sets.
+    std::vector<std::set<std::uint64_t>> per_bank(
+        static_cast<std::size_t>(banks));
+    std::set<std::uint64_t> all;
+    for (int k = 0; k < n; ++k) {
+      if ((half_mask >> k & 1u) == 0) continue;
+      for (std::uint32_t off = 0; off < row.size; off += 4) {
+        const std::uint64_t word = (addr[k] + off) / 4;
+        per_bank[word % banks].insert(word);
+        all.insert(word);
+      }
+    }
+    if (all.size() == 1) return 1;
+    int worst = 1;
+    for (const auto& w : per_bank)
+      worst = std::max(worst, static_cast<int>(w.size()));
+    return worst;
+  }
+
+  if (nwords == 1) return 1;  // broadcast
+  int counts[64] = {};
+  for (int i = 0; i < nwords; ++i) ++counts[words[i] % banks];
+  int worst = 1;
+  for (int b = 0; b < banks; ++b) worst = std::max(worst, counts[b]);
+  return worst;
+}
+
+}  // namespace
+
+WarpBankCost analyze_shared_warp_soa(const DeviceSpec& spec,
+                                     const SoaWarpAccess& row) {
+  const int hw = spec.warp_size / 2;
+  WarpBankCost cost;
+  for (int lo = 0; lo < row.lanes; lo += hw) {
+    const int n = std::min(hw, row.lanes - lo);
+    const int ser = half_warp_serialization_soa(spec, row, lo, n);
+    if (ser == 0) continue;  // no active lane in this half
+    cost.passes += ser;
+    cost.extra_passes += ser - 1;
+  }
+  return cost;
+}
+
 }  // namespace g80

@@ -32,4 +32,11 @@ struct WarpBankCost {
 
 WarpBankCost analyze_shared_warp(const DeviceSpec& spec, const WarpAccess& warp);
 
+// Batch entry point over one SoA trace-arena row: identical passes /
+// extra_passes to analyze_shared_warp on the expanded warp, computed with a
+// small insert-unique word array and a per-bank counter table instead of
+// per-bank std::sets.
+WarpBankCost analyze_shared_warp_soa(const DeviceSpec& spec,
+                                     const SoaWarpAccess& row);
+
 }  // namespace g80

@@ -1,6 +1,7 @@
 #include "mem/coalescing.h"
 
 #include <algorithm>
+#include <bit>
 #include <set>
 
 #include "common/error.h"
@@ -109,6 +110,117 @@ CoalesceResult analyze_warp(const DeviceSpec& spec, const WarpAccess& warp) {
   for (std::size_t lo = 0; lo < warp.size(); lo += hw) {
     const int n = static_cast<int>(std::min<std::size_t>(hw, warp.size() - lo));
     CoalesceResult half = analyze_half_warp(spec, warp.data() + lo, n);
+    if (half.transactions == 0) continue;
+    total.transactions += half.transactions;
+    total.dram_bytes += half.dram_bytes;
+    total.scattered_bytes += half.scattered_bytes;
+    total.useful_bytes += half.useful_bytes;
+    total.coalesced = total.coalesced && half.coalesced;
+    ++issued;
+  }
+  if (issued == 0) total.coalesced = false;
+  return total;
+}
+
+namespace {
+
+// SoA half-warp: lanes [lo, lo+n) of the batch row.  Same rule, same
+// numbers as analyze_half_warp on the expanded AoS lanes — the uniform-size
+// check is free (the batch key fixes the width) and the serialized path's
+// unique-segment count uses a small insert-unique array instead of a
+// std::set (identical distinct count, no allocation).
+CoalesceResult analyze_half_warp_soa(const DeviceSpec& spec,
+                                     const SoaWarpAccess& row, int lo, int n) {
+  CoalesceResult r;
+  const std::uint32_t half_mask =
+      (n >= 32 ? ~0u : ((1u << n) - 1u)) & (row.mask >> lo);
+  const int active = std::popcount(half_mask);
+  if (active == 0) return r;  // fully predicated-off: no traffic
+  const std::uint32_t size = row.size;
+  const std::uint64_t* addr = row.addrs + lo;
+
+  // Strict compute-1.0 pattern: lane k at base + k*size, base aligned to the
+  // 16-word segment.
+  bool pattern_ok = size == 4 || size == 8 || size == 16;
+  std::uint64_t base = 0;
+  bool have_base = false;
+  if (pattern_ok) {
+    for (int k = 0; k < n && pattern_ok; ++k) {
+      if ((half_mask >> k & 1u) == 0) continue;
+      const std::uint64_t lane_base =
+          addr[k] - static_cast<std::uint64_t>(k) * size;
+      if (!have_base) {
+        base = lane_base;
+        have_base = true;
+      } else if (lane_base != base) {
+        pattern_ok = false;
+      }
+    }
+    const std::uint64_t seg =
+        static_cast<std::uint64_t>(spec.warp_size / 2) * size;
+    if (pattern_ok && (base % seg) != 0) pattern_ok = false;
+  }
+
+  const std::uint64_t min_txn = spec.dram_transaction_bytes;
+  if (pattern_ok) {
+    r.transactions = 1;
+    const std::uint64_t seg =
+        static_cast<std::uint64_t>(spec.warp_size / 2) * size;
+    r.dram_bytes = std::max<std::uint64_t>(seg, min_txn);
+    r.useful_bytes = static_cast<std::uint64_t>(active) * size;
+    r.coalesced = true;
+    return r;
+  }
+
+  r.coalesced = false;
+  r.transactions = active;
+  r.useful_bytes = static_cast<std::uint64_t>(active) * size;
+  std::uint64_t segs[64];
+  int nsegs = 0;
+  bool overflow = false;
+  for (int k = 0; k < n && !overflow; ++k) {
+    if ((half_mask >> k & 1u) == 0) continue;
+    for (std::uint64_t b = addr[k] / min_txn;
+         b <= (addr[k] + size - 1) / min_txn; ++b) {
+      int i = 0;
+      while (i < nsegs && segs[i] != b) ++i;
+      if (i == nsegs) {
+        if (nsegs == 64) {
+          overflow = true;
+          break;
+        }
+        segs[nsegs++] = b;
+      }
+    }
+  }
+  if (overflow) {
+    // Giant access widths (> a cache line per lane): fall back to the exact
+    // set-based count rather than growing the scratch array.
+    std::set<std::uint64_t> segments;
+    for (int k = 0; k < n; ++k) {
+      if ((half_mask >> k & 1u) == 0) continue;
+      for (std::uint64_t b = addr[k] / min_txn;
+           b <= (addr[k] + size - 1) / min_txn; ++b)
+        segments.insert(b);
+    }
+    nsegs = static_cast<int>(segments.size());
+  }
+  r.dram_bytes = static_cast<std::uint64_t>(nsegs) * min_txn;
+  r.scattered_bytes = r.dram_bytes;
+  return r;
+}
+
+}  // namespace
+
+CoalesceResult analyze_warp_soa(const DeviceSpec& spec,
+                                const SoaWarpAccess& row) {
+  const int hw = spec.warp_size / 2;
+  CoalesceResult total;
+  total.coalesced = true;
+  int issued = 0;
+  for (int lo = 0; lo < row.lanes; lo += hw) {
+    const int n = std::min(hw, row.lanes - lo);
+    CoalesceResult half = analyze_half_warp_soa(spec, row, lo, n);
     if (half.transactions == 0) continue;
     total.transactions += half.transactions;
     total.dram_bytes += half.dram_bytes;

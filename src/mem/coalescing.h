@@ -42,4 +42,10 @@ CoalesceResult analyze_half_warp(const DeviceSpec& spec, const MemAccess* lanes,
 // per half-warp).
 CoalesceResult analyze_warp(const DeviceSpec& spec, const WarpAccess& warp);
 
+// Batch entry point: the same analysis over one SoA trace-arena row
+// (uniform size by construction, addresses in a contiguous column).
+// Produces exactly analyze_warp's numbers for the expanded warp.
+CoalesceResult analyze_warp_soa(const DeviceSpec& spec,
+                                const SoaWarpAccess& row);
+
 }  // namespace g80

@@ -27,4 +27,10 @@ struct WarpConstCost {
 
 WarpConstCost analyze_const_warp(const DeviceSpec& spec, const WarpAccess& warp);
 
+// Batch entry point over one SoA trace-arena row: identical cost to
+// analyze_const_warp on the expanded warp (distinct-address count via a
+// 16-slot insert-unique array, no allocation).
+WarpConstCost analyze_const_warp_soa(const DeviceSpec& spec,
+                                     const SoaWarpAccess& row);
+
 }  // namespace g80

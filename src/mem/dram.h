@@ -22,6 +22,8 @@ struct DramTraffic {
 
   std::uint64_t coalesced_bytes() const { return bytes - scattered_bytes; }
 
+  bool operator==(const DramTraffic&) const = default;
+
   DramTraffic& operator+=(const DramTraffic& o) {
     transactions += o.transactions;
     bytes += o.bytes;

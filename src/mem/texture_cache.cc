@@ -37,6 +37,17 @@ bool TextureCache::access(std::uint64_t addr) {
   return false;
 }
 
+TextureCache::WarpResult TextureCache::access_warp_soa(
+    const SoaWarpAccess& row) {
+  WarpResult r;
+  for (int k = 0; k < row.lanes; ++k) {
+    if ((row.mask >> k & 1u) == 0) continue;
+    if (access(row.addrs[k])) ++r.hits;
+    else ++r.misses;
+  }
+  return r;
+}
+
 double TextureCache::hit_rate() const {
   const std::uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);

@@ -76,6 +76,10 @@ struct KernelCounters {
   double divergent_branch_fraction() const;
 
   KernelCounters& operator+=(const KernelCounters& o);
+  // Exact equality: counters are pure functions of the trace pass, so the
+  // batched and legacy recorder paths must agree on every field
+  // (tests/trace_batch_test.cc, bench/rt_throughput.cc traced gate).
+  bool operator==(const KernelCounters&) const = default;
 };
 
 // Derive the counters from one launch's statistics.  Pure function of the

@@ -18,6 +18,11 @@
 // reproduces the launch total the aggregate model implies
 // (tests/scope_test.cc pins this down against g80prof's counters).
 //
+// The TraceSummary input comes from the batched recorder path by default
+// (cudalite/trace_arena.h), whose contract is bit-identity with per-lane
+// recording — so every bucket series and site attribution here is equal,
+// element for element, under either recorder (tests/trace_batch_test.cc).
+//
 // How the expansion works
 // -----------------------
 //   * The grid executes as waves of `blocks_per_sm x num_sms` resident

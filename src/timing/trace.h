@@ -38,6 +38,9 @@ struct SiteStats {
   std::uint64_t syncs = 0;  // warp-level bar.sync count
 
   SiteStats& operator+=(const SiteStats& o);  // counts only, not identity
+  // Exact equality, `file` included by pointer: std::source_location hands
+  // out one static string per site, so two traces of the same binary agree.
+  bool operator==(const SiteStats&) const = default;
 };
 
 // Merge `src` entries into `dst` by site id, keeping deterministic
@@ -67,6 +70,7 @@ struct WarpTrace {
   std::uint64_t divergent_branches = 0;
 
   WarpTrace& operator+=(const WarpTrace& o);
+  bool operator==(const WarpTrace&) const = default;
 
   // Cycles this warp occupies its SM's issue logic, including serialization
   // from bank conflicts and constant-cache replays.
@@ -91,6 +95,11 @@ struct TraceSummary {
   std::vector<SiteStats> sites;
 
   static TraceSummary summarize(const std::vector<BlockTrace>& blocks);
+
+  // Exact equality across every counter and site — the contract the batched
+  // recorder path (cudalite/trace_arena.h) is held to by trace_batch_test
+  // and the rt_throughput traced gate.
+  bool operator==(const TraceSummary&) const = default;
 
   double warps_per_block() const;
   // Per-warp means.

@@ -21,7 +21,11 @@
 //      configuration, {fast path on/off} x {sequential, pooled 2, pooled 4}
 //      x {fast/ucontext fiber engine} all produce bit-identical outputs, and
 //      the fast-path LaunchStats themselves are identical whichever
-//      scheduler ran them (empty trace/timing, same occupancy footprint).
+//      scheduler ran them (empty trace/timing, same occupancy footprint);
+//   6. batched trace recording (cudalite/trace_arena.h) is invisible: for
+//      every random configuration, {batched/legacy recorder} x {sequential,
+//      pooled 2, pooled 4} x {fast/ucontext fiber engine} agree on outputs,
+//      the full trace summary, and modeled timing, bit for bit.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -33,6 +37,7 @@
 #include "cudalite/ctx.h"
 #include "cudalite/device.h"
 #include "cudalite/launch.h"
+#include "cudalite/trace_arena.h"
 #include "exec/fiber.h"
 #include "exec/worker_pool.h"
 
@@ -263,6 +268,49 @@ TEST(InvariantFuzz, FastPathInvisibleAcrossSchedulersAndFiberEngines) {
       EXPECT_EQ(s.occupancy.blocks_per_sm, ref_stats.occupancy.blocks_per_sm)
           << c.str();
       EXPECT_EQ(s.occupancy.limiter, ref_stats.occupancy.limiter) << c.str();
+    }
+  }
+}
+
+TEST(InvariantFuzz, BatchedRecorderInvisibleAcrossSchedulersAndFiberEngines) {
+  std::mt19937 rng(fuzz_seed() + 5);
+  WorkerPool pool2(2);
+  WorkerPool pool4(4);
+  std::vector<Fiber::Backend> backends{Fiber::Backend::kUcontext};
+  if (Fiber::fast_backend_supported())
+    backends.push_back(Fiber::Backend::kFast);
+  for (int it = 0; it < fuzz_iters(); ++it) {
+    const auto c = random_config(rng);
+    const auto input = random_input(rng, c.n());
+
+    // Legacy-recorder sequential run is the reference.
+    std::vector<float> ref_out;
+    LaunchStats ref_stats;
+    {
+      ScopedTraceBatch off(false);
+      std::tie(ref_out, ref_stats) = run_config(c, input, base_options(c));
+    }
+
+    ScopedTraceBatch on(true);
+    for (Fiber::Backend backend : backends) {
+      for (WorkerPool* pool : {static_cast<WorkerPool*>(nullptr), &pool2,
+                               &pool4}) {
+        LaunchOptions opt = base_options(c);
+        opt.fiber_backend = backend;
+        opt.pool = pool;
+        const auto [out, stats] = run_config(c, input, opt);
+        const std::string label =
+            c.str() + " pool=" + std::to_string(pool ? pool->width() : 1) +
+            " backend=" +
+            (backend == Fiber::Backend::kFast ? "fast" : "ucontext");
+        EXPECT_EQ(ref_out, out) << label;
+        // The entire trace summary — every warp counter, DRAM byte, and
+        // per-site attribution row — must match the legacy recorder.
+        EXPECT_TRUE(ref_stats.trace == stats.trace) << label;
+        EXPECT_EQ(ref_stats.timing.seconds, stats.timing.seconds) << label;
+        EXPECT_EQ(ref_stats.timing.kernel_cycles, stats.timing.kernel_cycles)
+            << label;
+      }
     }
   }
 }
