@@ -1,0 +1,206 @@
+// g80obs overhead gate: what does leaving observability armed cost the
+// serving path?
+//
+// Three configurations of an in-process Server run the same job batch:
+//   disabled — metrics off, trace ring 0: the exact pre-obs code path
+//              (one null-pointer test per request);
+//   enabled  — the ObsConfig defaults (metrics registry + request tracing
+//              armed) with nobody scraping;
+//   scraped  — enabled, plus a `metrics` protocol call interleaved into the
+//              job stream the way a real scraper would.
+//
+// The batch is no_cache saxpy jobs, so every request crosses the full
+// parse → admission → queue → simulate → respond path and the wall is
+// simulation-dominated — the regime the ≤2% requirement is stated for.
+// After an untimed warmup batch per server, many short paired trials
+// alternate disabled/enabled back-to-back; each pair yields an
+// enabled/disabled wall ratio measured under (nearly) the same host
+// conditions, and the deterministic gate `obs_overhead_ok` requires the
+// MEDIAN paired ratio to stay within 1.02x.  The median over many paired
+// samples is what makes a 2% gate on sub-second walls tenable: host-load
+// drift moves both sides of a pair together, and the median discards the
+// trials where a scheduling spike landed inside exactly one side.  The
+// per-configuration floors (min walls) are reported as wall_ context.
+//
+// A second, ungated measurement drives bare pings through both servers to
+// expose the per-request cost of tracing itself (µs/request, wall context
+// only): pings do no simulation, so this is the worst case for the obs
+// layer, reported so regressions in the fixed per-request cost are visible
+// even though they are invisible in the simulation-dominated gate.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "bench/harness.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace g80::serve {
+namespace {
+
+constexpr int kTrials = 12;      // paired disabled/enabled samples
+constexpr int kScrapedTrials = 3;
+constexpr int kJobs = 12;        // per trial, per configuration
+constexpr int kPings = 400;      // per configuration, ping-path measurement
+constexpr int kScrapeEvery = 3;  // scraped config: metrics call cadence
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+JobRequest saxpy_job(std::int64_t seed) {
+  JobRequest req;
+  req.op = Op::kLaunch;
+  req.kernel = "saxpy";
+  req.n = 524288;  // ~15ms of simulation: the wall the 2% gate is about
+  req.seed = seed;
+  req.no_cache = true;  // every job crosses the full scheduler path
+  return req;
+}
+
+// Runs one batch of kJobs no_cache jobs; returns the wall and counts
+// errors.  When scrape is true a `metrics` call is issued every
+// kScrapeEvery jobs from the same session, like a scraper sharing the
+// daemon with live traffic.
+double run_batch(Client& client, std::int64_t seed_base, bool scrape,
+                 int& errors) {
+  JobRequest metrics;
+  metrics.op = Op::kMetrics;
+  const double t0 = now_seconds();
+  for (int j = 0; j < kJobs; ++j) {
+    const Response r = client.call(saxpy_job(seed_base + j));
+    if (!r.ok()) ++errors;
+    if (scrape && j % kScrapeEvery == 0) {
+      const Response m = client.call(metrics);
+      if (!m.ok()) ++errors;
+    }
+  }
+  return now_seconds() - t0;
+}
+
+double run_pings(Client& client, int count, int& errors) {
+  JobRequest ping;
+  ping.op = Op::kPing;
+  const double t0 = now_seconds();
+  for (int j = 0; j < count; ++j) {
+    if (!client.call(ping).ok()) ++errors;
+  }
+  return now_seconds() - t0;
+}
+
+ServerConfig base_config(const std::string& tag) {
+  ServerConfig cfg;
+  cfg.socket_path =
+      "/tmp/g80s_obsbench_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+  cfg.pool.gtx_slots = 2;
+  cfg.obs.log_level = obs::LogLevel::kOff;  // measure obs, not stderr I/O
+  cfg.obs.slow_request_s = 0;
+  return cfg;
+}
+
+}  // namespace
+
+int obs_overhead_main(int argc, char** argv) {
+  bench::Harness h(argc, argv, "obs_overhead");
+
+  // disabled == the pre-obs serving path; enabled == ObsConfig defaults.
+  ServerConfig disabled_cfg = base_config("off");
+  disabled_cfg.obs.metrics = false;
+  disabled_cfg.obs.trace_ring = 0;
+  ServerConfig enabled_cfg = base_config("on");
+
+  Server disabled_server(disabled_cfg);
+  Server enabled_server(enabled_cfg);
+  disabled_server.start();
+  enabled_server.start();
+  Client disabled_client(disabled_cfg.socket_path, "obsbench-off");
+  Client enabled_client(enabled_cfg.socket_path, "obsbench-on");
+
+  int errors = 0;
+  const auto seed = static_cast<std::int64_t>(h.seed());
+
+  // Untimed warmup: first-touch allocation, page faults, and the enabled
+  // server's lazily grown metric/trace structures all land here.
+  run_batch(disabled_client, seed + 90000, /*scrape=*/false, errors);
+  run_batch(enabled_client, seed + 90000, /*scrape=*/true, errors);
+
+  double disabled_wall = 0, enabled_wall = 0, scraped_wall = 0;
+  std::vector<double> paired_ratios;
+  for (int t = 0; t < kTrials; ++t) {
+    // Paired back-to-back samples so slow host intervals hit both
+    // configurations equally; each pair contributes one ratio.
+    const std::int64_t base = seed + 1000 * t;
+    const double d = run_batch(disabled_client, base, /*scrape=*/false, errors);
+    const double e = run_batch(enabled_client, base, /*scrape=*/false, errors);
+    if (d > 0) paired_ratios.push_back(e / d);
+    disabled_wall = t == 0 ? d : std::min(disabled_wall, d);
+    enabled_wall = t == 0 ? e : std::min(enabled_wall, e);
+  }
+  std::sort(paired_ratios.begin(), paired_ratios.end());
+  const double ratio =
+      paired_ratios.empty() ? 0 : paired_ratios[paired_ratios.size() / 2];
+  for (int t = 0; t < kScrapedTrials; ++t) {
+    const double s = run_batch(enabled_client, seed + 9000 + 1000 * t,
+                               /*scrape=*/true, errors);
+    scraped_wall = t == 0 ? s : std::min(scraped_wall, s);
+  }
+
+  // Ping path: no simulation, so the fixed per-request obs cost dominates.
+  int ping_errors = 0;
+  const double ping_disabled = run_pings(disabled_client, kPings, ping_errors);
+  const double ping_enabled = run_pings(enabled_client, kPings, ping_errors);
+
+  // Sanity: the enabled server must actually have been observing.
+  const obs::MetricsSnapshot snap = enabled_server.metrics_snapshot();
+  const double traced = snap.value("serve.traces_total");
+  const bool observing = snap.value("serve.requests_total") > 0 &&
+                         traced > 0 &&
+                         snap.value("serve.traces_complete_total") == traced;
+  disabled_server.shutdown();
+  enabled_server.shutdown();
+
+  const double scraped_ratio =
+      disabled_wall > 0 ? scraped_wall / disabled_wall : 0;
+  h.human() << "jobs/config/trial: " << kJobs << " (x" << kTrials
+            << " paired trials)\n"
+            << "median paired enabled/disabled ratio: " << ratio << "\n"
+            << "floor walls: disabled " << disabled_wall << " s, enabled "
+            << enabled_wall << " s, scraped " << scraped_wall << " s ("
+            << scraped_ratio << "x)\n"
+            << "ping us/req: disabled " << ping_disabled / kPings * 1e6
+            << ", enabled " << ping_enabled / kPings * 1e6 << "\n";
+
+  auto& jobs = h.result("jobs");
+  jobs.set("per_trial", kJobs);
+  jobs.set("trials", kTrials);
+  jobs.set("errors", errors);
+  jobs.set("wall_disabled_s", disabled_wall);
+  jobs.set("wall_enabled_s", enabled_wall);
+  jobs.set("wall_scraped_s", scraped_wall);
+  jobs.set("wall_enabled_ratio_median", ratio);
+  jobs.set("wall_scraped_ratio", scraped_ratio);
+
+  auto& ping = h.result("ping");
+  ping.set("requests", kPings);
+  ping.set("errors", ping_errors);
+  ping.set("wall_disabled_us_per_req", ping_disabled / kPings * 1e6);
+  ping.set("wall_enabled_us_per_req", ping_enabled / kPings * 1e6);
+
+  auto& gate = h.result("gate");
+  gate.set("obs_overhead_ok",
+           errors == 0 && ratio > 0 && ratio <= 1.02 ? 1 : 0);
+  gate.set("enabled_observing", observing ? 1 : 0);
+
+  return h.finish(DeviceSpec::geforce_8800_gtx());
+}
+
+}  // namespace g80::serve
+
+int main(int argc, char** argv) {
+  return g80::serve::obs_overhead_main(argc, argv);
+}

@@ -13,6 +13,17 @@
 // client-observed latency percentiles, the measured speedup) are recorded
 // for context only.
 //
+// g80obs reconciliation: the daemon is scraped through the `metrics`
+// protocol op before and after the run.  A scrape's snapshot is taken
+// before its own response is counted, so the delta between the two scrapes
+// covers exactly the traffic in between plus one scrape (the first one's
+// response pairs with the second one's request) — the run asserts
+// delta(requests) == delta(responses) == the exact request count it issued,
+// and that every one of those requests produced a complete trace
+// (delta(traces_total) == delta(traces_complete_total)).  Server-side
+// per-phase latency percentiles (parse/admission/queue_wait/simulate/...)
+// come from the same scrape and are reported as wall_ context.
+//
 // By default the bench hosts an in-process Server; set G80_SERVE_SOCKET to
 // point it at an externally started g80served instead (scripts/
 // check_serve.sh drives the daemon binary through this).
@@ -22,6 +33,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -50,6 +62,51 @@ double percentile_ms(std::vector<double>& seconds, double p) {
   const auto idx = static_cast<std::size_t>(
       p * static_cast<double>(seconds.size() - 1));
   return seconds[idx] * 1e3;
+}
+
+// One `metrics` scrape, flattened for delta arithmetic: counter/gauge
+// values and histogram (count, p50, p99) keyed by metric name.
+struct Scrape {
+  bool ok = false;
+  std::map<std::string, double> value;  // counters and gauges
+  std::map<std::string, double> count;  // histogram observation counts
+  std::map<std::string, double> p50;
+  std::map<std::string, double> p99;
+
+  double delta_value(const Scrape& earlier, const std::string& name) const {
+    const auto it = value.find(name);
+    const auto jt = earlier.value.find(name);
+    return (it != value.end() ? it->second : 0) -
+           (jt != earlier.value.end() ? jt->second : 0);
+  }
+  double delta_count(const Scrape& earlier, const std::string& name) const {
+    const auto it = count.find(name);
+    const auto jt = earlier.count.find(name);
+    return (it != count.end() ? it->second : 0) -
+           (jt != earlier.count.end() ? jt->second : 0);
+  }
+};
+
+Scrape scrape_metrics(Client& client) {
+  Scrape s;
+  JobRequest req;
+  req.op = Op::kMetrics;
+  const Response r = client.call(req);
+  if (!r.ok()) return s;  // daemon runs with metrics disabled
+  const JsonValue& metrics = r.doc.require("result").require("metrics");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const JsonValue& m = metrics.at(i);
+    const std::string name = m.get_string("name", "");
+    if (m.get_string("kind", "") == "histogram") {
+      s.count[name] = m.get_number("count", 0);
+      s.p50[name] = m.get_number("p50", 0);
+      s.p99[name] = m.get_number("p99", 0);
+    } else {
+      s.value[name] = m.get_number("value", 0);
+    }
+  }
+  s.ok = true;
+  return s;
 }
 
 // The 24-job working set: saxpy and matmul variants spread over the three
@@ -101,12 +158,19 @@ int loadtest_main(int argc, char** argv) {
     cfg.pool.ultra_slots = 1;
     cfg.pool.gts_slots = 1;
     cfg.pool.max_queue_depth = 256;
+    cfg.obs.log_level = obs::LogLevel::kWarn;  // keep bench stderr quiet
     server.emplace(cfg);
     server->start();
     socket_path = cfg.socket_path;
   }
 
   const std::vector<JobRequest> jobs = working_set(h.seed());
+
+  // The probe session lives for the whole run: its hello lands before the
+  // first scrape, so the scrape-to-scrape deltas below cover exactly the
+  // cold + warm + stats traffic plus one scrape.
+  Client probe(socket_path, "loadtest-probe");
+  const Scrape before = scrape_metrics(probe);
 
   // --- cold phase -----------------------------------------------------------
   std::vector<std::string> reference(jobs.size());
@@ -176,7 +240,6 @@ int loadtest_main(int argc, char** argv) {
   double cache_misses = 0, cache_hits = 0, cache_stores = 0,
          cache_evictions = 0;
   {
-    Client probe(socket_path, "loadtest-probe");
     JobRequest stats;
     stats.op = Op::kStats;
     const Response r = probe.call(stats);
@@ -190,6 +253,9 @@ int loadtest_main(int argc, char** argv) {
       cache_evictions = static_cast<double>(cache.get_int("evictions", 0));
     }
   }
+
+  // --- g80obs scrape: counter reconciliation and span completeness ---------
+  const Scrape after = scrape_metrics(probe);
   if (server) server->shutdown();
 
   // --- report ---------------------------------------------------------------
@@ -236,9 +302,74 @@ int loadtest_main(int argc, char** argv) {
                             ? cache_hits / (cache_hits + cache_misses)
                             : 0);
 
+  // Every request this run issued between the two scrapes: the cold
+  // session (hello + jobs), the warm sessions (hello + jobs each), the
+  // stats call, plus the scrape pairing (first scrape's response / second
+  // scrape's request).
+  const double expected_requests =
+      1 + (1 + static_cast<double>(jobs.size())) +
+      static_cast<double>(kSessions) * (1 + kJobsPerSession) + 1;
+  const double d_req = after.delta_value(before, "serve.requests_total");
+  const double d_resp = after.delta_value(before, "serve.responses_total");
+  const double d_err = after.delta_value(before, "serve.errors_total");
+  const double d_traces = after.delta_value(before, "serve.traces_total");
+  const double d_complete =
+      after.delta_value(before, "serve.traces_complete_total");
+  const bool scraped = before.ok && after.ok;
+
+  if (scraped) {
+    h.human() << "obs: " << d_req << " requests / " << d_resp
+              << " responses / " << d_traces << " traces (" << d_complete
+              << " complete) between scrapes; expected " << expected_requests
+              << "\n"
+              << "server-side phase latency (cumulative, ms p50/p99):\n";
+    const char* phases[] = {"parse",    "cache_lookup", "admission",
+                            "queue_wait", "simulate",   "cache_store",
+                            "respond",  "total"};
+    for (const char* ph : phases) {
+      const std::string name = std::string("serve.latency.") + ph;
+      const auto it = after.count.find(name);
+      if (it == after.count.end()) continue;
+      h.human() << "  " << ph << ": n=" << it->second << " p50="
+                << after.p50.at(name) * 1e3 << " p99="
+                << after.p99.at(name) * 1e3 << "\n";
+    }
+  } else {
+    h.human() << "obs: metrics op unavailable, reconciliation skipped\n";
+  }
+
+  auto& obs_row = h.result("obs");
+  obs_row.set("metrics_scraped", scraped ? 1 : 0);
+  obs_row.set("delta_requests", d_req);
+  obs_row.set("delta_responses", d_resp);
+  obs_row.set("delta_errors", d_err);
+  obs_row.set("delta_traces", d_traces);
+  obs_row.set("delta_traces_complete", d_complete);
+  obs_row.set("sim_jobs", after.delta_count(before, "serve.latency.simulate"));
+  obs_row.set("cache_lookups",
+              after.delta_count(before, "serve.latency.cache_lookup"));
+
+  auto& phase = h.result("phase_latency");
+  for (const char* ph : {"parse", "cache_lookup", "admission", "queue_wait",
+                         "simulate", "cache_store", "respond", "total"}) {
+    const std::string name = std::string("serve.latency.") + ph;
+    const auto it = after.p50.find(name);
+    if (it == after.p50.end()) continue;
+    phase.set(std::string("wall_") + ph + "_p50_ms", it->second * 1e3);
+    phase.set(std::string("wall_") + ph + "_p99_ms",
+              after.p99.at(name) * 1e3);
+  }
+
   auto& gate = h.result("gate");
   gate.set("bit_identical", bit_identical ? 1 : 0);
   gate.set("warm_speedup_ok", speedup >= 10.0 ? 1 : 0);
+  // Both obs gates hold vacuously when the daemon was started without
+  // metrics; the obs.metrics_scraped metric records which case this was.
+  gate.set("counters_reconcile",
+           !scraped || (d_req == d_resp && d_req == expected_requests) ? 1
+                                                                       : 0);
+  gate.set("spans_complete",
+           !scraped || (d_traces == d_complete && d_traces == d_req) ? 1 : 0);
   gate.set("wall_warm_speedup", speedup);
 
   return h.finish(DeviceSpec::geforce_8800_gtx());

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the g80serve daemon binaries: start g80served on a
 # private socket, exercise it with g80servectl (ping, a cold launch, the
-# warm cache hit that must return byte-identical result bytes, stats), run
-# the loadtest bench against the same daemon, then shut it down cleanly and
-# verify the socket is gone.
+# warm cache hit that must return byte-identical result bytes, stats, the
+# g80obs metrics/trace exporters), run the loadtest bench against the same
+# daemon — which scrapes the metrics op and reconciles request/response/
+# trace counters exactly — then shut it down cleanly and verify the socket
+# is gone.
 #
 # Usage: scripts/check_serve.sh [build-dir]
 #
@@ -81,6 +83,30 @@ grep -q invalid_configuration "$workdir/reject.out" \
 echo "== stats"
 "$servectl" "$sock" stats | grep -q '"mem_hits"' \
   || { echo "check_serve: stats response missing cache counters" >&2; exit 1; }
+"$servectl" "$sock" stats | grep -q '"queues"' \
+  || { echo "check_serve: stats response missing per-class queue depths" >&2
+       exit 1; }
+
+echo "== g80obs exporters"
+# Capture each payload before grepping: grep -q exits on first match and a
+# still-writing servectl would die on EPIPE under pipefail.
+"$servectl" "$sock" metrics > "$workdir/metrics.prom"
+grep -q '^g80_serve_requests_total ' "$workdir/metrics.prom" \
+  || { echo "check_serve: prometheus scrape missing the request counter" >&2
+       exit 1; }
+grep -q 'g80_serve_latency_total_bucket{le="+Inf"}' "$workdir/metrics.prom" \
+  || { echo "check_serve: prometheus scrape missing histogram buckets" >&2
+       exit 1; }
+"$servectl" "$sock" metrics format=json > "$workdir/metrics.json"
+grep -q '"serve.cache.mem_hits_total"' "$workdir/metrics.json" \
+  || { echo "check_serve: metrics json missing cache counters" >&2; exit 1; }
+"$servectl" "$sock" traces format=chrome > "$workdir/trace.json"
+grep -q '"traceEvents"' "$workdir/trace.json" \
+  || { echo "check_serve: chrome trace export malformed" >&2
+       cat "$workdir/trace.json" >&2; exit 1; }
+grep -q '"launch \[ok\]"' "$workdir/trace.json" \
+  || { echo "check_serve: chrome trace missing the launch request slice" >&2
+       cat "$workdir/trace.json" >&2; exit 1; }
 
 echo "== loadtest against the external daemon"
 G80_SERVE_SOCKET="$sock" "$loadtest" --out "$workdir/loadtest.json" \
@@ -92,6 +118,15 @@ grep -q '"warm_speedup_ok":1' "$workdir/loadtest.json" \
        cat "$workdir/loadtest.json" >&2; exit 1; }
 grep -q '"bit_identical":1' "$workdir/loadtest.json" \
   || { echo "check_serve: bit-identity gate failed" >&2
+       cat "$workdir/loadtest.json" >&2; exit 1; }
+grep -q '"metrics_scraped":1' "$workdir/loadtest.json" \
+  || { echo "check_serve: loadtest could not scrape the metrics op" >&2
+       cat "$workdir/loadtest.json" >&2; exit 1; }
+grep -q '"counters_reconcile":1' "$workdir/loadtest.json" \
+  || { echo "check_serve: request/response counters did not reconcile" >&2
+       cat "$workdir/loadtest.json" >&2; exit 1; }
+grep -q '"spans_complete":1' "$workdir/loadtest.json" \
+  || { echo "check_serve: incomplete request traces during loadtest" >&2
        cat "$workdir/loadtest.json" >&2; exit 1; }
 
 echo "== clean shutdown via the protocol"

@@ -10,7 +10,7 @@
 # reporting phantom races.
 #
 # Only the concurrency-heavy tests run here
-# (ctest -R '^(rt_|resil_test|serve_|exec_fastpath|trace_batch)'): they are
+# (ctest -R '^(rt_|resil_test|serve_|obs_|exec_fastpath|trace_batch)'): they are
 # the ones that exercise the WorkerPool (including its work-stealing deques),
 # the stream threads, the g80resil watchdog/cancellation machinery, the
 # atomic Device counters, the g80serve session/scheduler threads (many
@@ -27,10 +27,11 @@ build="${1:-$repo/build-tsan}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Tsan
 cmake --build "$build" -j "$(nproc)" --target rt_stream_test rt_parallel_launch_test resil_test \
-  serve_server_test serve_isolation_test serve_cache_test exec_fastpath_test trace_batch_test
+  serve_server_test serve_isolation_test serve_cache_test exec_fastpath_test trace_batch_test \
+  obs_metrics_test obs_trace_test
 
 # second_deadlock_stack: show both lock orders on any lock-inversion report.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-second_deadlock_stack=1}"
 
-ctest --test-dir "$build" --output-on-failure -R '^(rt_|resil_test|serve_|exec_fastpath|trace_batch)' -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -R '^(rt_|resil_test|serve_|obs_|exec_fastpath|trace_batch)' -j "$(nproc)"
 echo "tsan: runtime tests passed"

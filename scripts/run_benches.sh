@@ -36,6 +36,7 @@ benches=(
   scope_overhead
   resil_campaign
   serve_loadtest
+  obs_overhead
 )
 
 # Writes the structured failure document for bench $1 with reason $2.

@@ -1,0 +1,122 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.h"
+#include "common/str.h"
+#include "prof/chrome_trace.h"
+
+namespace g80::obs {
+
+namespace {
+
+// "serve.requests_total" -> "g80_serve_requests_total".  Prometheus metric
+// names are [a-zA-Z_:][a-zA-Z0-9_:]*; everything else maps to '_'.
+std::string prom_name(std::string_view raw) {
+  std::string out = "g80_";
+  out.reserve(raw.size() + 4);
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string fmt_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_text(const JsonValue& metrics_result) {
+  const JsonValue& arr = metrics_result.require("metrics");
+  if (!arr.is_array()) throw Error("g80obs: \"metrics\" is not an array");
+  std::string out;
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const JsonValue& m = arr.at(i);
+    const std::string name = prom_name(m.require("name").as_string());
+    const std::string& kind = m.require("kind").as_string();
+    if (kind == "counter" || kind == "gauge") {
+      out += cat("# TYPE ", name, " ", kind, "\n", name, " ",
+                 fmt_num(m.require("value").as_number()), "\n");
+    } else if (kind == "histogram") {
+      out += cat("# TYPE ", name, " histogram\n");
+      const JsonValue& buckets = m.require("buckets");
+      for (std::size_t b = 0; b < buckets.size(); ++b) {
+        const JsonValue& pair = buckets.at(b);
+        const JsonValue& le = pair.at(0);
+        // JSON has no +inf: the open-ended last bucket's bound arrives as
+        // null and renders as the spec's le="+Inf".
+        const std::string le_str =
+            le.is_null() ? std::string("+Inf") : fmt_num(le.as_number());
+        out += cat(name, "_bucket{le=\"", le_str, "\"} ",
+                   std::to_string(pair.at(1).as_int()), "\n");
+      }
+      out += cat(name, "_sum ", fmt_num(m.require("sum").as_number()), "\n",
+                 name, "_count ", std::to_string(m.require("count").as_int()),
+                 "\n");
+    } else {
+      throw Error(cat("g80obs: unknown metric kind \"", kind, "\""));
+    }
+  }
+  return out;
+}
+
+std::string chrome_trace_from_traces(const JsonValue& traces_result) {
+  const JsonValue& arr = traces_result.require("traces");
+  if (!arr.is_array()) throw Error("g80obs: \"traces\" is not an array");
+  constexpr int kPid = 1;
+  JsonWriter w;
+  w.begin_object().kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  prof::chrome_emit_process_name(w, kPid, "g80served (requests)");
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const JsonValue& t = arr.at(i);
+    // One track per request: requests pipeline concurrently on a session,
+    // so a shared track would interleave unrelated spans.
+    const int tid = static_cast<int>(i) + 1;
+    const double base_s = t.require("start_s").as_number();
+    prof::chrome_emit_thread_name(
+        w, kPid, tid,
+        cat("req ", std::to_string(t.require("id").as_int()), " (session ",
+            std::to_string(t.require("session").as_int()), ")"));
+    // Root slice spanning the whole request, phase spans nested inside.
+    prof::chrome_emit_slice(
+        w, kPid, tid,
+        cat(t.require("op").as_string(), " [", t.require("status").as_string(),
+            "]"),
+        base_s, t.require("total_s").as_number(), [&](JsonWriter& args) {
+          args.kv("complete", t.require("complete").as_bool());
+        });
+    const JsonValue& spans = t.require("spans");
+    for (std::size_t s = 0; s < spans.size(); ++s) {
+      const JsonValue& sp = spans.at(s);
+      const double start = sp.require("start_s").as_number();
+      const double end = sp.require("end_s").as_number();
+      const std::string note = sp.get_string("note", "");
+      prof::chrome_emit_slice(
+          w, kPid, tid, sp.require("name").as_string(), base_s + start,
+          end >= start ? end - start : 0,
+          note.empty() ? std::function<void(JsonWriter&)>()
+                       : [&](JsonWriter& args) { args.kv("note", note); });
+    }
+    const JsonValue& events = t.require("events");
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const JsonValue& ev = events.at(e);
+      const std::string note = ev.get_string("note", "");
+      prof::chrome_emit_instant(
+          w, kPid, tid, ev.require("name").as_string(),
+          base_s + ev.require("t_s").as_number(),
+          note.empty() ? std::function<void(JsonWriter&)>()
+                       : [&](JsonWriter& args) { args.kv("note", note); });
+    }
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+}  // namespace g80::obs

@@ -1,0 +1,38 @@
+// g80obs exporters: render the `metrics` and `traces` protocol-op payloads
+// into the two external formats monitoring actually consumes.
+//
+// Both functions take the *parsed JSON payload* the daemon returns, not live
+// registry objects, so they run wherever the payload lands: inside
+// g80servectl (`metrics` / `traces` subcommands), in tests, or in any tool
+// that talks the wire protocol.  The daemon itself only ever serializes the
+// neutral JSON (obs/metrics.h metrics_json, obs/trace.h traces_json).
+//
+//   - prometheus_text: Prometheus exposition format.  Registry names are
+//     dotted ("serve.requests_total"); exported names are "g80_" + name with
+//     every non-[a-zA-Z0-9_] byte mapped to '_', so "serve.requests_total"
+//     becomes g80_serve_requests_total.  Histograms expand to the standard
+//     _bucket{le="..."} / _sum / _count triple; the open-ended last bucket's
+//     null upper bound (JSON has no +inf) renders as le="+Inf".
+//   - chrome_trace_from_traces: Chrome trace-event JSON, same dialect as
+//     g80prof's kernel-timeline exporter (built on the shared emitters in
+//     prof/chrome_trace.h), so a serve trace and a modeled kernel timeline
+//     open side by side in the same viewer.  Each request becomes its own
+//     named track ("req <id> (session <s>)") — requests pipeline on one
+//     session, so per-request tracks keep overlapping spans from mis-nesting.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+
+namespace g80::obs {
+
+// `metrics_result` is the parsed {"metrics":[...]} object of the `metrics`
+// op's result payload.  Throws g80::Error on a malformed payload.
+std::string prometheus_text(const JsonValue& metrics_result);
+
+// `traces_result` is the parsed {"traces":[...]} object of the `traces` op's
+// result payload.  Throws g80::Error on a malformed payload.
+std::string chrome_trace_from_traces(const JsonValue& traces_result);
+
+}  // namespace g80::obs

@@ -1,0 +1,162 @@
+#include "obs/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/str.h"
+
+namespace g80::obs {
+
+namespace {
+
+// Wall-clock seconds since the unix epoch with millisecond precision, plus
+// the ISO-8601 rendering text mode uses.
+double wall_seconds() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+std::string iso8601(double unix_s) {
+  const auto secs = static_cast<std::time_t>(unix_s);
+  const int millis =
+      static_cast<int>((unix_s - static_cast<double>(secs)) * 1e3);
+  std::tm tm{};
+  ::gmtime_r(&secs, &tm);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  return buf;
+}
+
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "info";
+}
+
+LogLevel log_level_from_name(std::string_view name) {
+  for (const LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                           LogLevel::kError, LogLevel::kOff}) {
+    if (name == log_level_name(l)) return l;
+  }
+  throw Error(cat("g80obs: unknown log level \"", name,
+                  "\" (debug|info|warn|error|off)"));
+}
+
+Logger::Logger(LogLevel min_level, bool json)
+    : min_level_(min_level), json_(json) {
+  sink_ = [](std::string_view line) {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fputc('\n', stderr);
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+Logger::Event::Event(Logger* logger, LogLevel level, std::string_view event)
+    : logger_(logger), level_(level), event_(event) {}
+
+Logger::Event::~Event() {
+  if (logger_ != nullptr) logger_->emit(*this);
+}
+
+Logger::Event& Logger::Event::field(std::string_view key,
+                                    std::string_view v) {
+  if (logger_ != nullptr) {
+    fields_.push_back({std::string(key), std::string(v), true});
+  }
+  return *this;
+}
+
+Logger::Event& Logger::Event::field(std::string_view key, std::uint64_t v) {
+  if (logger_ != nullptr) {
+    fields_.push_back({std::string(key), std::to_string(v), false});
+  }
+  return *this;
+}
+
+Logger::Event& Logger::Event::field(std::string_view key, std::int64_t v) {
+  if (logger_ != nullptr) {
+    fields_.push_back({std::string(key), std::to_string(v), false});
+  }
+  return *this;
+}
+
+Logger::Event& Logger::Event::field(std::string_view key, double v) {
+  if (logger_ != nullptr) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    fields_.push_back({std::string(key), buf, false});
+  }
+  return *this;
+}
+
+Logger::Event& Logger::Event::field(std::string_view key, bool v) {
+  if (logger_ != nullptr) {
+    fields_.push_back({std::string(key), v ? "true" : "false", false});
+  }
+  return *this;
+}
+
+Logger::Event Logger::log(LogLevel level, std::string_view event) {
+  return Event(enabled(level) ? this : nullptr, level, event);
+}
+
+void Logger::emit(const Event& ev) {
+  const double now = wall_seconds();
+  std::string line;
+  if (json_) {
+    char ts[40];
+    std::snprintf(ts, sizeof ts, "%.3f", now);
+    line = cat("{\"ts\":", ts, ",\"level\":\"", log_level_name(ev.level_),
+               "\",\"event\":\"", json_escape(ev.event_), "\"");
+    for (const Event::Field& f : ev.fields_) {
+      line += cat(",\"", json_escape(f.key), "\":");
+      if (f.is_string) {
+        line += cat("\"", json_escape(f.value), "\"");
+      } else {
+        line += f.value;
+      }
+    }
+    line += "}";
+  } else {
+    line = cat(iso8601(now), " ",
+               pad_right(std::string(log_level_name(ev.level_)), 5), " ",
+               ev.event_);
+    for (const Event::Field& f : ev.fields_) {
+      if (f.is_string && needs_quoting(f.value)) {
+        line += cat(" ", f.key, "=\"", json_escape(f.value), "\"");
+      } else {
+        line += cat(" ", f.key, "=", f.value);
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_) sink_(line);
+}
+
+}  // namespace g80::obs

@@ -1,0 +1,113 @@
+// g80obs structured event logger.
+//
+// Replaces the daemon's ad-hoc fprintf(stderr, ...) with leveled, structured
+// one-line events that a log pipeline can parse:
+//
+//   text mode:  2026-08-09T12:00:01.234Z INFO  session_accepted session=3
+//   json mode:  {"ts":1754745601.234,"level":"info","event":"session_accepted",
+//                "session":3}
+//
+// An event is a name plus ordered key/value fields (strings, integers,
+// doubles, bools).  Field order is preserved; values are JSON-escaped in
+// json mode and quoted-when-needed in text mode.  Levels below the
+// configured minimum are dropped before any field formatting happens, so a
+// disabled debug() costs one comparison.
+//
+// Emission goes through a sink callback (one fully formatted line, no
+// trailing newline).  The default sink writes to stderr under a mutex; tests
+// install a capturing sink.  The Logger itself is thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g80::obs {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+std::string_view log_level_name(LogLevel l);
+// Accepts "debug" | "info" | "warn" | "error" | "off"; throws g80::Error on
+// anything else (the daemon's --log-level flag parser).
+LogLevel log_level_from_name(std::string_view name);
+
+class Logger {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  // Default sink: one line to stderr.
+  explicit Logger(LogLevel min_level = LogLevel::kInfo, bool json = false);
+
+  void set_level(LogLevel l) { min_level_ = l; }
+  void set_json(bool json) { json_ = json; }
+  void set_sink(Sink sink);
+  LogLevel level() const { return min_level_; }
+  bool json() const { return json_; }
+
+  bool enabled(LogLevel l) const { return l >= min_level_; }
+
+  // Builder for one event; emits on destruction.  Usage:
+  //   log.info("job_done").field("session", id).field("status", "ok");
+  class Event {
+   public:
+    Event(Event&& o) noexcept
+        : logger_(o.logger_),
+          level_(o.level_),
+          event_(std::move(o.event_)),
+          fields_(std::move(o.fields_)) {
+      o.logger_ = nullptr;  // the moved-from event must not emit
+    }
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+    ~Event();
+
+    Event& field(std::string_view key, std::string_view v);
+    Event& field(std::string_view key, const char* v) {
+      return field(key, std::string_view(v));
+    }
+    Event& field(std::string_view key, const std::string& v) {
+      return field(key, std::string_view(v));
+    }
+    Event& field(std::string_view key, std::uint64_t v);
+    Event& field(std::string_view key, std::int64_t v);
+    Event& field(std::string_view key, int v) {
+      return field(key, static_cast<std::int64_t>(v));
+    }
+    Event& field(std::string_view key, double v);
+    Event& field(std::string_view key, bool v);
+
+   private:
+    friend class Logger;
+    Event(Logger* logger, LogLevel level, std::string_view event);
+
+    struct Field {
+      std::string key;
+      std::string value;   // pre-rendered (JSON-compatible for non-strings)
+      bool is_string;      // needs quoting/escaping on emit
+    };
+    Logger* logger_;  // null = suppressed (below min level or moved-from)
+    LogLevel level_ = LogLevel::kInfo;
+    std::string event_;
+    std::vector<Field> fields_;
+  };
+
+  Event log(LogLevel level, std::string_view event);
+  Event debug(std::string_view event) { return log(LogLevel::kDebug, event); }
+  Event info(std::string_view event) { return log(LogLevel::kInfo, event); }
+  Event warn(std::string_view event) { return log(LogLevel::kWarn, event); }
+  Event error(std::string_view event) { return log(LogLevel::kError, event); }
+
+ private:
+  void emit(const Event& ev);
+
+  LogLevel min_level_;
+  bool json_;
+  std::mutex sink_mu_;
+  Sink sink_;
+};
+
+}  // namespace g80::obs

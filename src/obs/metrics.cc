@@ -1,0 +1,219 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/str.h"
+
+namespace g80::obs {
+
+namespace detail {
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace detail
+
+LatencyHistogram::LatencyHistogram(LogBuckets layout)
+    : layout_(layout), counts_(layout.buckets()) {}
+
+std::vector<std::uint64_t> LatencyHistogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  return layout_.quantile(counts.data(), counts.size(), q);
+}
+
+void LatencyHistogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nano_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(const std::string& name,
+                                                     MetricKind kind) {
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw Error(cat("g80obs: metric \"", name,
+                        "\" already registered with a different kind"));
+      }
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_locked(name, MetricKind::kCounter)) {
+    return e->counter.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->kind = MetricKind::kCounter;
+  e->counter = std::make_unique<Counter>();
+  Counter* out = e->counter.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_locked(name, MetricKind::kGauge)) {
+    if (!e->gauge) {
+      throw Error(cat("g80obs: gauge \"", name,
+                      "\" is callback-backed; no settable handle"));
+    }
+    return e->gauge.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->kind = MetricKind::kGauge;
+  e->gauge = std::make_unique<Gauge>();
+  Gauge* out = e->gauge.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name,
+                                             LogBuckets layout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_locked(name, MetricKind::kHistogram)) {
+    return e->hist.get();
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->kind = MetricKind::kHistogram;
+  e->hist = std::make_unique<LatencyHistogram>(layout);
+  LatencyHistogram* out = e->hist.get();
+  entries_.push_back(std::move(e));
+  return out;
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name,
+                                     std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (find_locked(name, MetricKind::kGauge) != nullptr) {
+    throw Error(cat("g80obs: gauge \"", name, "\" already registered"));
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->kind = MetricKind::kGauge;
+  e->callback = std::move(fn);
+  entries_.push_back(std::move(e));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricSample s;
+    s.name = e->name;
+    s.kind = e->kind;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e->counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(e->gauge ? e->gauge->value()
+                                               : e->callback());
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram& h = *e->hist;
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        s.count = h.count();
+        s.value = static_cast<double>(s.count);
+        s.sum = h.sum();
+        s.p50 = h.layout().quantile(counts.data(), counts.size(), 0.50);
+        s.p90 = h.layout().quantile(counts.data(), counts.size(), 0.90);
+        s.p99 = h.layout().quantile(counts.data(), counts.size(), 0.99);
+        std::uint64_t cum = 0;
+        s.buckets.reserve(counts.size());
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          cum += counts[i];
+          s.buckets.emplace_back(h.layout().upper_bound(i), cum);
+        }
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->counter) e->counter->reset();
+    if (e->hist) e->hist->reset();
+  }
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::value(std::string_view name) const {
+  const MetricSample* s = find(name);
+  return s != nullptr ? s->value : 0.0;
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("metrics");
+  w.begin_array();
+  for (const MetricSample& s : snap.samples) {
+    w.begin_object();
+    w.kv("name", s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        w.kv("kind", "counter");
+        w.kv("value", s.value);
+        break;
+      case MetricKind::kGauge:
+        w.kv("kind", "gauge");
+        w.kv("value", s.value);
+        break;
+      case MetricKind::kHistogram:
+        w.kv("kind", "histogram");
+        w.kv("count", s.count);
+        w.kv("sum", s.sum);
+        w.kv("p50", s.p50);
+        w.kv("p90", s.p90);
+        w.kv("p99", s.p99);
+        w.key("buckets");
+        w.begin_array();
+        for (const auto& [le, cum] : s.buckets) {
+          w.begin_array();
+          w.value(le);
+          w.value(cum);
+          w.end_array();
+        }
+        w.end_array();
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace g80::obs

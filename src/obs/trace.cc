@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/json.h"
+
+namespace g80::obs {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RequestTrace::RequestTrace(std::uint64_t session, double epoch_s)
+    : session_(session), epoch_s_(epoch_s) {}
+
+void RequestTrace::set_identity(std::string op, std::int64_t request_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_ = std::move(op);
+  request_id_ = request_id;
+}
+
+double RequestTrace::now_rel() const { return steady_seconds() - epoch_s_; }
+
+int RequestTrace::open(std::string name) {
+  const double t = now_rel();
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{std::move(name), t, -1, ""});
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void RequestTrace::close(int idx, std::string note) {
+  const double t = now_rel();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idx < 0 || idx >= static_cast<int>(spans_.size())) return;
+  Span& s = spans_[static_cast<std::size_t>(idx)];
+  if (s.closed()) return;  // first close wins
+  s.end_s = t;
+  s.note = std::move(note);
+}
+
+void RequestTrace::close_all(std::string note) {
+  const double t = now_rel();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Span& s : spans_) {
+    if (!s.closed()) {
+      s.end_s = t;
+      s.note = note;
+    }
+  }
+}
+
+void RequestTrace::event(std::string name, std::string note) {
+  const double t = now_rel();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(SpanEvent{std::move(name), t, std::move(note)});
+}
+
+double RequestTrace::elapsed_s() const { return now_rel(); }
+
+TraceRecord RequestTrace::finish(std::string status) {
+  const double total = now_rel();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceRecord rec;
+  rec.session = session_;
+  rec.request_id = request_id_;
+  rec.op = op_;
+  rec.status = std::move(status);
+  rec.start_s = epoch_s_;
+  rec.total_s = total;
+  rec.spans = spans_;
+  rec.events = events_;
+  rec.complete = !rec.spans.empty();
+  double prev_start = 0;
+  for (const Span& s : rec.spans) {
+    if (!s.closed() || s.start_s < prev_start) {
+      rec.complete = false;
+      break;
+    }
+    prev_start = s.start_s;
+  }
+  return rec;
+}
+
+void TraceRing::add(TraceRecord rec) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(rec));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceRecord>(ring_.begin(), ring_.end());
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string traces_json(const std::vector<TraceRecord>& recs) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traces");
+  w.begin_array();
+  for (const TraceRecord& r : recs) {
+    w.begin_object();
+    w.kv("session", r.session);
+    w.kv("id", static_cast<std::uint64_t>(r.request_id));
+    w.kv("op", r.op);
+    w.kv("status", r.status);
+    w.kv("start_s", r.start_s);
+    w.kv("total_s", r.total_s);
+    w.kv("complete", r.complete);
+    w.key("spans");
+    w.begin_array();
+    for (const Span& s : r.spans) {
+      w.begin_object();
+      w.kv("name", s.name);
+      w.kv("start_s", s.start_s);
+      w.kv("end_s", s.end_s);
+      if (!s.note.empty()) w.kv("note", s.note);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("events");
+    w.begin_array();
+    for (const SpanEvent& e : r.events) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("t_s", e.t_s);
+      if (!e.note.empty()) w.kv("note", e.note);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace g80::obs

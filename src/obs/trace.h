@@ -1,0 +1,129 @@
+// g80obs request span tracing.
+//
+// Every g80serve request carries one RequestTrace from the byte it arrives
+// to the byte its response leaves: named spans cover each pipeline phase
+// (parse, cache lookup, admission, queue wait, scheduler slot, simulation,
+// cache store, response write) and instant events mark the g80resil attempt
+// machinery (one event per attempt / retry / device reset).  Timestamps are
+// seconds on the steady clock, relative to the trace's own start, so a
+// trace is self-contained and host-clock jumps cannot skew it.
+//
+// A trace is shared between the session thread (parse, cache, respond on
+// the hit path) and the scheduler worker that runs the job (queue close,
+// simulate, attempts), so RequestTrace is internally locked.  That is fine
+// cost-wise: tracing is per-request, not per-instruction, and the daemon
+// disables it entirely by setting the ring capacity to zero (the null-trace
+// fast path is one pointer test).
+//
+// Finished traces fold into two places:
+//   - per-phase LatencyHistograms in the metrics registry (the server does
+//     this in finish_request_trace), and
+//   - a daemon-wide TraceRing of the most recent N TraceRecords, exported
+//     by the `traces` protocol op and convertible to chrome://tracing JSON
+//     (obs/export.h) so a serve trace opens in the same viewer as a g80prof
+//     kernel timeline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace g80::obs {
+
+// One closed-or-open span.  end_s < 0 means still open.
+struct Span {
+  std::string name;
+  double start_s = 0;
+  double end_s = -1;
+  std::string note;  // status token, cache tier, ... (optional)
+
+  bool closed() const { return end_s >= 0; }
+  double seconds() const { return closed() ? end_s - start_s : 0; }
+};
+
+// Instant event (resil attempt start/failure, device reset, ...).
+struct SpanEvent {
+  std::string name;
+  double t_s = 0;
+  std::string note;
+};
+
+// Value-type record of one finished request trace; what the ring stores and
+// the `traces` op exports.
+struct TraceRecord {
+  std::uint64_t session = 0;
+  std::int64_t request_id = 0;
+  std::string op;
+  std::string status;  // protocol status token of the response
+  double start_s = 0;  // steady-clock seconds at trace start (daemon-relative)
+  double total_s = 0;
+  bool complete = false;  // every span closed, starts monotonically ordered
+  std::vector<Span> spans;
+  std::vector<SpanEvent> events;
+};
+
+class RequestTrace {
+ public:
+  RequestTrace(std::uint64_t session, double epoch_s);
+
+  // Identity is known only after the parse span: set it once parsed.
+  void set_identity(std::string op, std::int64_t request_id);
+
+  // Opens a span and returns its index (stable for close()).
+  int open(std::string name);
+  void close(int idx, std::string note = "");
+  // Closes every still-open span with `note` (error unwinding paths).
+  void close_all(std::string note);
+  void event(std::string name, std::string note = "");
+
+  double elapsed_s() const;
+
+  // Freezes the trace into a record.  `status` is the response's protocol
+  // status token.  Completeness = at least one span, all spans closed, and
+  // span starts monotonically non-decreasing (the ordered-span-tree
+  // property the lifecycle test asserts).
+  TraceRecord finish(std::string status);
+
+ private:
+  double now_rel() const;
+
+  const std::uint64_t session_;
+  const double epoch_s_;    // daemon steady-clock origin of this trace
+  mutable std::mutex mu_;
+  std::string op_;
+  std::int64_t request_id_ = 0;
+  std::vector<Span> spans_;
+  std::vector<SpanEvent> events_;
+};
+
+// Fixed-capacity ring of the most recent finished traces.  capacity 0 =
+// tracing disabled (the server then never allocates a RequestTrace at all).
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  void add(TraceRecord rec);
+  std::vector<TraceRecord> snapshot() const;
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceRecord> ring_;  // oldest at front
+};
+
+// Steady-clock seconds since an arbitrary process-wide origin; the shared
+// timebase for every trace of one daemon, so ring records order correctly.
+double steady_seconds();
+
+// Serializes records as the `traces` protocol op's result payload:
+//   {"traces":[{"session":..,"id":..,"op":..,"status":..,"start_s":..,
+//               "total_s":..,"complete":..,
+//               "spans":[{"name":..,"start_s":..,"end_s":..,"note":..}],
+//               "events":[{"name":..,"t_s":..,"note":..}]},...]}
+std::string traces_json(const std::vector<TraceRecord>& recs);
+
+}  // namespace g80::obs

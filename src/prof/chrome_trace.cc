@@ -22,40 +22,80 @@ int engine_tid(TimelineEngine e) {
 
 constexpr int kPid = 1;
 
-// Complete ("X") duration event.  Times are microseconds in the trace
-// format; the modeled timeline is seconds.
+// Complete ("X") duration event for a timeline span, tagging the issuing
+// stream and sequence number.
 void emit_slice(JsonWriter& w, int tid, const std::string& name,
                 double start_s, double dur_s, std::uint64_t stream,
                 std::uint64_t seq) {
-  w.begin_object()
-      .kv("name", name)
-      .kv("ph", "X")
-      .kv("pid", kPid)
-      .kv("tid", tid)
-      .kv("ts", start_s * 1e6)
-      .kv("dur", dur_s * 1e6)
-      .key("args")
-      .begin_object()
-      .kv("stream", stream)
-      .kv("seq", seq)
-      .end_object()
-      .end_object();
-}
-
-void emit_thread_name(JsonWriter& w, int tid, const char* name) {
-  w.begin_object()
-      .kv("name", "thread_name")
-      .kv("ph", "M")
-      .kv("pid", kPid)
-      .kv("tid", tid)
-      .key("args")
-      .begin_object()
-      .kv("name", name)
-      .end_object()
-      .end_object();
+  chrome_emit_slice(w, kPid, tid, name, start_s, dur_s,
+                    [&](JsonWriter& args) {
+                      args.kv("stream", stream).kv("seq", seq);
+                    });
 }
 
 }  // namespace
+
+void chrome_emit_slice(JsonWriter& w, int pid, int tid, std::string_view name,
+                       double start_s, double dur_s,
+                       const std::function<void(JsonWriter&)>& args) {
+  w.begin_object()
+      .kv("name", name)
+      .kv("ph", "X")
+      .kv("pid", pid)
+      .kv("tid", tid)
+      .kv("ts", start_s * 1e6)
+      .kv("dur", dur_s * 1e6);
+  if (args) {
+    w.key("args").begin_object();
+    args(w);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void chrome_emit_instant(JsonWriter& w, int pid, int tid,
+                         std::string_view name, double t_s,
+                         const std::function<void(JsonWriter&)>& args) {
+  w.begin_object()
+      .kv("name", name)
+      .kv("ph", "i")
+      .kv("s", "t")  // thread-scoped instant marker
+      .kv("pid", pid)
+      .kv("tid", tid)
+      .kv("ts", t_s * 1e6);
+  if (args) {
+    w.key("args").begin_object();
+    args(w);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void chrome_emit_process_name(JsonWriter& w, int pid, std::string_view name) {
+  w.begin_object()
+      .kv("name", "process_name")
+      .kv("ph", "M")
+      .kv("pid", pid)
+      .key("args")
+      .begin_object()
+      .kv("name", name)
+      .end_object()
+      .end_object();
+}
+
+void chrome_emit_thread_name(JsonWriter& w, int pid, int tid,
+                             std::string_view name) {
+  w.begin_object()
+      .kv("name", "thread_name")
+      .kv("ph", "M")
+      .kv("pid", pid)
+      .kv("tid", tid)
+      .key("args")
+      .begin_object()
+      .kv("name", name)
+      .end_object()
+      .end_object();
+}
 
 std::string chrome_trace_json(const Timeline& tl,
                               const ChromeTraceOptions& opt) {
@@ -74,18 +114,13 @@ std::string chrome_trace_json(const Timeline& tl,
   w.key("traceEvents").begin_array();
 
   // Track metadata: one named process, one named track per engine.
-  w.begin_object()
-      .kv("name", "process_name")
-      .kv("ph", "M")
-      .kv("pid", kPid)
-      .key("args")
-      .begin_object()
-      .kv("name", "g80 device (modeled)")
-      .end_object()
-      .end_object();
-  emit_thread_name(w, engine_tid(TimelineEngine::kCompute), "compute engine");
-  emit_thread_name(w, engine_tid(TimelineEngine::kCopy), "copy engine (DMA)");
-  emit_thread_name(w, engine_tid(TimelineEngine::kHost), "host (stream-ordered)");
+  chrome_emit_process_name(w, kPid, "g80 device (modeled)");
+  chrome_emit_thread_name(w, kPid, engine_tid(TimelineEngine::kCompute),
+                          "compute engine");
+  chrome_emit_thread_name(w, kPid, engine_tid(TimelineEngine::kCopy),
+                          "copy engine (DMA)");
+  chrome_emit_thread_name(w, kPid, engine_tid(TimelineEngine::kHost),
+                          "host (stream-ordered)");
 
   for (const TimelineSpan& s : tl.spans()) {
     const int tid = engine_tid(s.engine);

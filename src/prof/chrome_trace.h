@@ -43,4 +43,20 @@ struct ChromeTraceOptions {
 std::string chrome_trace_json(const Timeline& tl,
                               const ChromeTraceOptions& opt = {});
 
+// Low-level trace-event emitters, shared by the Timeline exporter above and
+// g80obs's server-span exporter (obs/export.cc) so serve traces and kernel
+// timelines are the same dialect and open in the same viewer.  All four
+// append one event object inside an already-open traceEvents array; times
+// are seconds (converted to the format's microseconds here, in one place).
+// `args`, when non-null, is invoked inside an open "args" object.
+void chrome_emit_slice(JsonWriter& w, int pid, int tid, std::string_view name,
+                       double start_s, double dur_s,
+                       const std::function<void(JsonWriter&)>& args = {});
+void chrome_emit_instant(JsonWriter& w, int pid, int tid,
+                         std::string_view name, double t_s,
+                         const std::function<void(JsonWriter&)>& args = {});
+void chrome_emit_process_name(JsonWriter& w, int pid, std::string_view name);
+void chrome_emit_thread_name(JsonWriter& w, int pid, int tid,
+                             std::string_view name);
+
 }  // namespace g80::prof

@@ -32,10 +32,41 @@ Watchdog::~Watchdog() {
   thread_.join();
 }
 
+namespace {
+// The calling thread's attempt observer; run_resilient executes attempts on
+// the caller's thread, so thread-local scoping attributes every attempt to
+// the request that thread is serving.
+thread_local AttemptObserver* t_attempt_observer = nullptr;
+}  // namespace
+
+ScopedAttemptObserver::ScopedAttemptObserver(AttemptObserver* obs)
+    : prev_(t_attempt_observer) {
+  t_attempt_observer = obs;
+}
+
+ScopedAttemptObserver::~ScopedAttemptObserver() {
+  t_attempt_observer = prev_;
+}
+
 void run_resilient(const ResiliencePolicy& policy, ResilienceStats& out,
                    const std::function<void(const AttemptConfig&)>& attempt) {
+  AttemptObserver* obs = t_attempt_observer;
   if (!policy.enabled) {
-    attempt(AttemptConfig{});
+    // The disabled path still reports its single attempt: a trace should
+    // show one attempt whether or not the retry machinery is armed.
+    if (obs != nullptr) obs->on_attempt_start(0, 0);
+    try {
+      attempt(AttemptConfig{});
+    } catch (const StatusError& e) {
+      if (obs != nullptr) obs->on_attempt_failure(0, e.status(), false);
+      throw;
+    } catch (const Error&) {
+      if (obs != nullptr) {
+        obs->on_attempt_failure(0, Status::kLaunchFailure, false);
+      }
+      throw;
+    }
+    if (obs != nullptr) obs->on_attempt_success(0, false);
     out.attempts = 1;
     return;
   }
@@ -54,11 +85,13 @@ void run_resilient(const ResiliencePolicy& policy, ResilienceStats& out,
     if (s == Status::kTimeout) st.timed_out = true;
     st.history.push_back({a, fallback, s, 0.0});
     if (classify_fault(s) != FaultClass::kTransient || a >= policy.max_retries) {
+      if (obs != nullptr) obs->on_attempt_failure(a, s, false);
       st.attempts = a + 1;
       st.fallback_level = fallback;
       out = std::move(st);
       return false;
     }
+    if (obs != nullptr) obs->on_attempt_failure(a, s, true);
     if (policy.allow_fallback && fallback < kMaxFallbackLevel) ++fallback;
     if (backoff > 0) {
       st.history.back().backoff_s = backoff;
@@ -70,6 +103,7 @@ void run_resilient(const ResiliencePolicy& policy, ResilienceStats& out,
   };
 
   for (int a = 0;; ++a) {
+    if (obs != nullptr) obs->on_attempt_start(a, fallback);
     CancelToken token;
     // Arm the wall-clock watchdog for this attempt only; the token is fresh
     // per attempt so an earlier timeout cannot poison the retry.
@@ -88,6 +122,7 @@ void run_resilient(const ResiliencePolicy& policy, ResilienceStats& out,
             "(ResiliencePolicy::inject_transient_failures test hook)");
       }
       attempt(AttemptConfig{a, fallback, dog ? &token : nullptr});
+      if (obs != nullptr) obs->on_attempt_success(a, a > 0);
       st.history.push_back({a, fallback, Status::kSuccess, 0.0});
       st.attempts = a + 1;
       st.fallback_level = fallback;

@@ -50,6 +50,41 @@ class Watchdog {
   std::thread thread_;
 };
 
+// Observer of the retry driver's attempt lifecycle.  run_resilient runs on
+// the calling thread, so an observer installed for the current thread (see
+// ScopedAttemptObserver) sees exactly the attempts of the launch that thread
+// is executing — which is how g80obs routes per-attempt events into the
+// owning request's trace without this layer knowing anything about serving.
+// Callbacks fire on the launching thread, inline with the retry loop; they
+// must not throw.
+class AttemptObserver {
+ public:
+  virtual ~AttemptObserver() = default;
+  // Before the attempt body runs (attempt is 0-based; a start with
+  // attempt > 0 is a retry).
+  virtual void on_attempt_start(int attempt, int fallback_level) {}
+  // After a failed attempt; `will_retry` says whether the driver is about
+  // to run another attempt or rethrow.
+  virtual void on_attempt_failure(int attempt, Status status,
+                                  bool will_retry) {}
+  // After the attempt that succeeded.
+  virtual void on_attempt_success(int attempt, bool recovered) {}
+};
+
+// Installs `obs` as the calling thread's attempt observer for the scope's
+// lifetime, restoring the previous observer (nesting-safe) on destruction.
+// Null deactivates observation for the scope.
+class ScopedAttemptObserver {
+ public:
+  explicit ScopedAttemptObserver(AttemptObserver* obs);
+  ~ScopedAttemptObserver();
+  ScopedAttemptObserver(const ScopedAttemptObserver&) = delete;
+  ScopedAttemptObserver& operator=(const ScopedAttemptObserver&) = delete;
+
+ private:
+  AttemptObserver* prev_;
+};
+
 // Runs `attempt` under the policy: each attempt gets a fresh CancelToken
 // (watchdog-armed when wall_timeout_s > 0); a thrown StatusError is
 // classified (classify_fault) and transient failures are retried — with

@@ -354,6 +354,25 @@ void Runtime::commit_locked(std::uint64_t seq, PendingCommit pc) {
   }
 }
 
+void Runtime::bind_metrics(obs::MetricsRegistry& reg,
+                           const std::string& prefix) {
+  // The ledger's counters are atomics read without any runtime lock, so a
+  // scrape never contends with stream threads mid-op.
+  const TransferLedger* ledger = &dev_.ledger();
+  reg.gauge_callback(prefix + ".ledger.h2d_bytes", [ledger] {
+    return static_cast<std::int64_t>(ledger->lifetime_h2d_bytes());
+  });
+  reg.gauge_callback(prefix + ".ledger.d2h_bytes", [ledger] {
+    return static_cast<std::int64_t>(ledger->lifetime_d2h_bytes());
+  });
+  reg.gauge_callback(prefix + ".ledger.total_bytes", [ledger] {
+    return static_cast<std::int64_t>(ledger->lifetime_total_bytes());
+  });
+  reg.gauge_callback(prefix + ".ledger.transfer_count", [ledger] {
+    return static_cast<std::int64_t>(ledger->lifetime_transfer_count());
+  });
+}
+
 Timeline Runtime::timeline_snapshot() const {
   std::lock_guard<std::mutex> lk(mu_);
   return timeline_;

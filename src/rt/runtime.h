@@ -48,6 +48,7 @@
 #include "cudalite/device.h"
 #include "cudalite/launch.h"
 #include "exec/worker_pool.h"
+#include "obs/metrics.h"
 #include "prof/profiler.h"
 #include "timing/timeline.h"
 
@@ -231,6 +232,16 @@ class Runtime {
   // time and no engine.  Synchronizing this runtime from inside the
   // callback raises kNotPermitted — it would deadlock the stream.
   void host_func(Stream s, std::function<void()> fn);
+
+  // --- g80obs ---
+  // Registers this runtime's transfer-ledger totals as callback gauges in
+  // `reg` under "<prefix>.ledger.*" (h2d_bytes, d2h_bytes, total_bytes,
+  // transfer_count — the lifetime counters, which survive Device::reset).
+  // Zero steady-state cost: the ledger is only read when `reg` is scraped,
+  // so binding a runtime that is never scraped costs nothing per op.  The
+  // registry must not outlive this runtime's Device.
+  void bind_metrics(obs::MetricsRegistry& reg,
+                    const std::string& prefix = "rt");
 
   // --- Modeled timeline ---
   // Spans commit in issue order as ops complete; synchronize first for a

@@ -19,6 +19,8 @@ std::string_view op_name(Op op) {
     case Op::kAutotune: return "autotune";
     case Op::kProfile: return "profile";
     case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
+    case Op::kTraces: return "traces";
     case Op::kShutdown: return "shutdown";
   }
   return "unknown";
@@ -31,6 +33,8 @@ Op op_from_name(std::string_view name) {
   if (name == "autotune") return Op::kAutotune;
   if (name == "profile") return Op::kProfile;
   if (name == "stats") return Op::kStats;
+  if (name == "metrics") return Op::kMetrics;
+  if (name == "traces") return Op::kTraces;
   if (name == "shutdown") return Op::kShutdown;
   throw StatusError(Status::kInvalidValue, cat("unknown op \"", name, "\""));
 }

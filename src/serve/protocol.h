@@ -41,6 +41,8 @@ enum class Op {
   kAutotune,  // sweep matmul variants/tiles, return the modeled-time winner
   kProfile,   // launch with g80prof attached, return counters too
   kStats,     // server + session counters (queue depth, cache, ledger)
+  kMetrics,   // g80obs metrics snapshot (counters, gauges, histograms)
+  kTraces,    // g80obs finished-request trace ring
   kShutdown,  // stop the daemon
 };
 

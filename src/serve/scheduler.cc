@@ -17,6 +17,7 @@ namespace {
 struct Job {
   JobRequest req;
   Scheduler::Callback done;
+  JobHooks hooks;
 };
 
 struct ClassQueue {
@@ -51,13 +52,32 @@ struct Scheduler::Impl {
         q.jobs.pop_front();
         ++stats_.running;
       }
-      JobOutcome out = run_job(dev, job.req, cfg.policy);
+      if (job.hooks.on_start) {
+        try {
+          job.hooks.on_start();
+        } catch (...) {
+        }
+      }
+      JobOutcome out;
+      {
+        // Route g80resil's per-attempt callbacks (fired on this thread,
+        // inline with the retry loop) to this job's observer.
+        ScopedAttemptObserver scoped(job.hooks.attempts);
+        out = run_job(dev, job.req, cfg.policy);
+      }
       if (out.status != Status::kSuccess) {
         // Cross-session isolation: tear the device down to a pristine state
         // before the next session's job binds to this slot.  Drain the
         // sticky error too — run_job already reported it.
         dev.get_last_error();
         dev.reset();
+        if (job.hooks.on_event) {
+          try {
+            job.hooks.on_event("device_reset",
+                               std::string(status_token(out.status)));
+          } catch (...) {
+          }
+        }
       }
       {
         std::lock_guard<std::mutex> lock(mu);
@@ -68,6 +88,9 @@ struct Scheduler::Impl {
           ++stats_.jobs_failed;
           ++stats_.device_resets;
         }
+        stats_.h2d_bytes += out.h2d_bytes;
+        stats_.d2h_bytes += out.d2h_bytes;
+        stats_.modeled_seconds += out.modeled_seconds;
       }
       try {
         job.done(out);
@@ -93,7 +116,7 @@ Scheduler::Scheduler(PoolConfig cfg) : impl_(std::make_unique<Impl>(cfg)) {}
 
 Scheduler::~Scheduler() { stop(); }
 
-void Scheduler::submit(const JobRequest& req, Callback done) {
+void Scheduler::submit(const JobRequest& req, Callback done, JobHooks hooks) {
   Impl& im = *impl_;
   {
     std::lock_guard<std::mutex> lock(im.mu);
@@ -112,7 +135,7 @@ void Scheduler::submit(const JobRequest& req, Callback done) {
                         cat("queue for \"", req.device_class, "\" is full (",
                             im.cfg.max_queue_depth, " jobs)"));
     }
-    it->second.jobs.push_back(Job{req, std::move(done)});
+    it->second.jobs.push_back(Job{req, std::move(done), std::move(hooks)});
   }
   im.cv.notify_all();
 }
@@ -144,7 +167,10 @@ SchedulerStats Scheduler::stats() const {
   SchedulerStats s = im.stats_;
   s.slots = im.cfg.total_slots();
   s.queue_depth = 0;
-  for (const auto& [cls, q] : im.queues) s.queue_depth += q.jobs.size();
+  for (const auto& [cls, q] : im.queues) {
+    s.queue_depth += q.jobs.size();
+    s.classes.push_back(ClassQueueStats{cls, q.jobs.size(), q.slots});
+  }
   return s;
 }
 

@@ -26,8 +26,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "resil/policy.h"
+#include "resil/resilience.h"
 #include "serve/kernels.h"
 
 namespace g80::serve {
@@ -55,6 +57,13 @@ struct PoolConfig {
   int total_slots() const { return gtx_slots + ultra_slots + gts_slots; }
 };
 
+// Queue state of one device class at stats() time.
+struct ClassQueueStats {
+  std::string device_class;  // "gtx" | "ultra" | "gts"
+  std::size_t queue_depth = 0;
+  int slots = 0;
+};
+
 struct SchedulerStats {
   std::uint64_t jobs_ok = 0;
   std::uint64_t jobs_failed = 0;
@@ -63,6 +72,30 @@ struct SchedulerStats {
   std::size_t queue_depth = 0;  // queued across all classes, excl. running
   int running = 0;
   int slots = 0;
+  // Lifetime totals accumulated from every completed job's outcome, so the
+  // stats/metrics layers can report pool-wide transfer and modeled-time
+  // consumption without tracking sessions.
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  double modeled_seconds = 0;
+  // Per-class queue depth; ordered by class name (map iteration order).
+  std::vector<ClassQueueStats> classes;
+};
+
+// Optional per-job observation hooks.  Everything here runs on the slot's
+// worker thread, so the span a hook closes measures real queue wait and the
+// attempt observer sees exactly this job's attempts.
+struct JobHooks {
+  // Invoked after the job is dequeued, immediately before it runs — closes
+  // the request's queue-wait span and opens its simulate span.
+  std::function<void()> on_start;
+  // Named out-of-band occurrences ("device_reset") with a detail note.
+  std::function<void(const std::string& name, const std::string& note)>
+      on_event;
+  // Installed (ScopedAttemptObserver) around run_job so g80resil's retry
+  // loop reports each attempt.  Must stay valid until the completion
+  // callback returns; null disables.
+  AttemptObserver* attempts = nullptr;
 };
 
 class Scheduler {
@@ -77,8 +110,10 @@ class Scheduler {
   // Enqueues `req` for its device class; `done` runs exactly once, on the
   // slot's worker thread.  Throws StatusError(kNotReady) when the class
   // queue is at max_queue_depth and StatusError(kInvalidValue) for a class
-  // with no slots — in both cases `done` is NOT invoked.
-  void submit(const JobRequest& req, Callback done);
+  // with no slots — in both cases `done` is NOT invoked.  `hooks` (all
+  // optional) observe the job's execution; a job failed at stop() without
+  // ever running gets `done` but no hook calls.
+  void submit(const JobRequest& req, Callback done, JobHooks hooks = {});
 
   // Stops accepting work, fails queued jobs with kNotReady, joins workers.
   // Idempotent.

@@ -3,11 +3,16 @@
 //   g80served --socket /tmp/g80served.sock [--cache-dir DIR]
 //             [--gtx N] [--ultra N] [--gts N]
 //             [--max-queue N] [--max-inflight N] [--cache-entries N]
+//             [--log-level debug|info|warn|error|off] [--log-json]
+//             [--slow-ms N] [--trace-ring N] [--no-metrics]
 //
 // Prints one "listening" line to stdout once the socket is ready (scripts
 // wait for it), then serves until a client issues `shutdown` or the process
 // receives SIGINT/SIGTERM.  Exits 0 on a clean shutdown with a final stats
-// summary on stdout.  docs/serving.md is the ops runbook.
+// summary on stdout.  Diagnostics go to stderr as structured log events
+// (g80obs logger; --log-json switches them to one-JSON-object-per-line).
+// docs/serving.md is the ops runbook, docs/observability.md the metrics and
+// tracing guide.
 #include <signal.h>
 #include <unistd.h>
 
@@ -19,6 +24,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/log.h"
 #include "serve/server.h"
 
 namespace {
@@ -35,7 +41,8 @@ void on_signal(int) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--cache-dir DIR] [--gtx N] "
                "[--ultra N] [--gts N] [--max-queue N] [--max-inflight N] "
-               "[--cache-entries N]\n",
+               "[--cache-entries N] [--log-level LEVEL] [--log-json] "
+               "[--slow-ms N] [--trace-ring N] [--no-metrics]\n",
                argv0);
   std::exit(2);
 }
@@ -67,11 +74,30 @@ int main(int argc, char** argv) {
       cfg.max_inflight_per_session = std::atoi(next());
     } else if (arg == "--cache-entries") {
       cfg.cache_entries = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--log-level") {
+      try {
+        cfg.obs.log_level = g80::obs::log_level_from_name(next());
+      } catch (const g80::Error& e) {
+        std::fprintf(stderr, "g80served: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--log-json") {
+      cfg.obs.log_json = true;
+    } else if (arg == "--slow-ms") {
+      cfg.obs.slow_request_s = std::atof(next()) * 1e-3;
+    } else if (arg == "--trace-ring") {
+      cfg.obs.trace_ring = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--no-metrics") {
+      cfg.obs.metrics = false;
     } else {
       usage(argv[0]);
     }
   }
 
+  // Daemon-lifecycle events share the request path's format and level
+  // settings but not its sink serialization — the Server's logger exists
+  // only while the Server does.
+  g80::obs::Logger log(cfg.obs.log_level, cfg.obs.log_json);
   try {
     g80::serve::Server server(cfg);
     server.start();
@@ -81,7 +107,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     if (::pipe(g_shutdown_pipe) != 0) {
-      std::fprintf(stderr, "g80served: pipe: %s\n", std::strerror(errno));
+      log.error("pipe_failed").field("errno", std::strerror(errno));
       return 1;
     }
     std::signal(SIGINT, on_signal);
@@ -112,7 +138,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cc.misses));
     return 0;
   } catch (const g80::Error& e) {
-    std::fprintf(stderr, "g80served: %s\n", e.what());
+    log.error("fatal").field("error", e.what());
     return 1;
   }
 }

@@ -51,6 +51,81 @@ struct Session {
   }
 };
 
+// Pre-registered metric handles for the request path: one pointer chase per
+// increment, no name lookup.  The whole bundle is absent (null) when
+// metrics are disabled, so the disabled path costs one pointer test.
+struct ServeMetrics {
+  explicit ServeMetrics(obs::MetricsRegistry& reg)
+      : requests(reg.counter("serve.requests_total")),
+        responses(reg.counter("serve.responses_total")),
+        errors(reg.counter("serve.errors_total")),
+        jobs_ok(reg.counter("serve.jobs_ok_total")),
+        jobs_failed(reg.counter("serve.jobs_failed_total")),
+        retries(reg.counter("serve.job_retries_total")),
+        device_resets(reg.counter("serve.device_resets_total")),
+        cache_mem_hits(reg.counter("serve.cache.mem_hits_total")),
+        cache_disk_hits(reg.counter("serve.cache.disk_hits_total")),
+        cache_misses(reg.counter("serve.cache.misses_total")),
+        traces_total(reg.counter("serve.traces_total")),
+        traces_complete(reg.counter("serve.traces_complete_total")) {}
+
+  obs::Counter* requests;
+  obs::Counter* responses;
+  obs::Counter* errors;
+  obs::Counter* jobs_ok;
+  obs::Counter* jobs_failed;
+  obs::Counter* retries;
+  obs::Counter* device_resets;
+  obs::Counter* cache_mem_hits;
+  obs::Counter* cache_disk_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* traces_total;
+  obs::Counter* traces_complete;
+};
+
+// Routes g80resil's per-attempt callbacks (fired on the scheduler worker
+// running the job) into the request's trace and the retry counter.  Kept
+// alive by the completion callback's shared_ptr until the job is done.
+class TraceAttemptObserver : public AttemptObserver {
+ public:
+  TraceAttemptObserver(std::shared_ptr<obs::RequestTrace> tr, ServeMetrics* m)
+      : tr_(std::move(tr)), m_(m) {}
+
+  void on_attempt_start(int attempt, int fallback_level) override {
+    if (m_ != nullptr && attempt > 0) m_->retries->inc();
+    if (tr_ != nullptr) {
+      tr_->event("attempt_start", cat("attempt ", attempt, " fallback ",
+                                      fallback_level));
+    }
+  }
+  void on_attempt_failure(int attempt, Status status,
+                          bool will_retry) override {
+    if (tr_ != nullptr) {
+      tr_->event(will_retry ? "attempt_retry" : "attempt_failed",
+                 std::string(status_token(status)));
+    }
+    (void)attempt;
+  }
+  void on_attempt_success(int attempt, bool recovered) override {
+    if (tr_ != nullptr) {
+      tr_->event(recovered ? "attempt_recovered" : "attempt_ok",
+                 cat("attempt ", attempt));
+    }
+  }
+
+ private:
+  std::shared_ptr<obs::RequestTrace> tr_;
+  ServeMetrics* m_;
+};
+
+// Worker-thread span state of one scheduled job: written by on_start and
+// read by the completion callback, both on the slot's worker thread (the
+// orphaned-at-stop path reads the initial values instead, unraced).
+struct JobTraceCtx {
+  int queue_span = -1;
+  int sim_span = -1;
+};
+
 std::string error_response(std::int64_t id, Status s, std::string_view msg) {
   JsonWriter w;
   w.begin_object();
@@ -80,7 +155,115 @@ struct Server::Impl {
   explicit Impl(ServerConfig cfg)
       : cfg(std::move(cfg)),
         cache(this->cfg.cache_entries, this->cfg.cache_dir),
-        sched(this->cfg.pool) {}
+        sched(this->cfg.pool),
+        trace_ring(this->cfg.obs.trace_ring),
+        log(this->cfg.obs.log_level, this->cfg.obs.log_json),
+        obs_epoch(obs::steady_seconds()) {
+    if (this->cfg.obs.log_sink) log.set_sink(this->cfg.obs.log_sink);
+    if (this->cfg.obs.metrics) {
+      m = std::make_unique<ServeMetrics>(registry);
+      total_hist = registry.histogram("serve.latency.total");
+      for (const char* phase : {"parse", "cache_lookup", "admission",
+                                "queue_wait", "simulate", "cache_store",
+                                "respond"}) {
+        phase_hists[phase] = registry.histogram(cat("serve.latency.", phase));
+      }
+      // Instantaneous state is sampled at scrape time only — callback
+      // gauges add zero steady-state work to the request path.
+      registry.gauge_callback("serve.sessions.active", [this] {
+        std::lock_guard<std::mutex> lock(mu);
+        return static_cast<std::int64_t>(sessions.size());
+      });
+      registry.gauge_callback("serve.queue.depth", [this] {
+        return static_cast<std::int64_t>(sched.stats().queue_depth);
+      });
+      for (const char* cls : {"gtx", "ultra", "gts"}) {
+        registry.gauge_callback(
+            cat("serve.queue.depth.", cls), [this, cls] {
+              for (const ClassQueueStats& c : sched.stats().classes) {
+                if (c.device_class == cls) {
+                  return static_cast<std::int64_t>(c.queue_depth);
+                }
+              }
+              return std::int64_t{0};
+            });
+      }
+      registry.gauge_callback("serve.running", [this] {
+        return static_cast<std::int64_t>(sched.stats().running);
+      });
+      registry.gauge_callback("serve.queue.rejected_not_ready", [this] {
+        return static_cast<std::int64_t>(sched.stats().rejected_not_ready);
+      });
+      registry.gauge_callback("serve.pool.h2d_bytes", [this] {
+        return static_cast<std::int64_t>(sched.stats().h2d_bytes);
+      });
+      registry.gauge_callback("serve.pool.d2h_bytes", [this] {
+        return static_cast<std::int64_t>(sched.stats().d2h_bytes);
+      });
+      registry.gauge_callback("serve.pool.modeled_micros", [this] {
+        return static_cast<std::int64_t>(sched.stats().modeled_seconds * 1e6);
+      });
+      registry.gauge_callback("serve.cache.mem_entries", [this] {
+        return static_cast<std::int64_t>(cache.mem_entries());
+      });
+      registry.gauge_callback("serve.cache.stores", [this] {
+        return static_cast<std::int64_t>(cache.counters().stores);
+      });
+      registry.gauge_callback("serve.cache.evictions", [this] {
+        return static_cast<std::int64_t>(cache.counters().evictions);
+      });
+      registry.gauge_callback("serve.cache.disk_errors", [this] {
+        return static_cast<std::int64_t>(cache.counters().disk_errors);
+      });
+    }
+  }
+
+  // Tracing (and span-fed histograms) are live when either consumer is on.
+  bool obs_enabled() const {
+    return m != nullptr || trace_ring.capacity() > 0;
+  }
+
+  std::shared_ptr<obs::RequestTrace> make_trace(std::uint64_t session_id) {
+    if (!obs_enabled()) return nullptr;
+    return std::make_shared<obs::RequestTrace>(session_id,
+                                               obs::steady_seconds());
+  }
+
+  // Folds a finished trace into the metrics histograms, the ring, and the
+  // logs.  `status` is the response's protocol status token; `source` is
+  // the job response's source tag ("sim", "cache_mem", ...) or empty.
+  void finish_trace(const std::shared_ptr<obs::RequestTrace>& tr,
+                    std::string_view status, std::string_view source) {
+    if (tr == nullptr) return;
+    obs::TraceRecord rec = tr->finish(std::string(status));
+    rec.start_s -= obs_epoch;  // ring records are daemon-relative
+    if (m != nullptr) {
+      m->responses->inc();
+      if (status != "ok") m->errors->inc();
+      m->traces_total->inc();
+      if (rec.complete) m->traces_complete->inc();
+      total_hist->observe(rec.total_s);
+      for (const obs::Span& sp : rec.spans) {
+        auto it = phase_hists.find(sp.name);
+        if (it != phase_hists.end()) it->second->observe(sp.seconds());
+      }
+    }
+    const bool slow = cfg.obs.slow_request_s > 0 &&
+                      rec.total_s >= cfg.obs.slow_request_s;
+    if (slow || log.enabled(obs::LogLevel::kDebug)) {
+      auto ev = slow ? log.warn("slow_request") : log.debug("request_done");
+      ev.field("session", rec.session)
+          .field("id", rec.request_id)
+          .field("op", rec.op)
+          .field("status", status)
+          .field("total_s", rec.total_s);
+      if (!source.empty()) ev.field("source", source);
+      for (const obs::Span& sp : rec.spans) {
+        ev.field(cat(sp.name, "_s"), sp.seconds());
+      }
+    }
+    trace_ring.add(std::move(rec));
+  }
 
   void accept_loop() {
     for (;;) {
@@ -90,6 +273,7 @@ struct Server::Impl {
         return;  // listener shut down
       }
       std::vector<std::thread> done;
+      std::uint64_t new_session_id = 0;
       {
         std::lock_guard<std::mutex> lock(mu);
         if (stop_requested) {
@@ -102,7 +286,9 @@ struct Server::Impl {
         std::thread t([this, session] { session_loop(session); });
         session_threads.emplace(session->id, std::move(t));
         done.swap(finished_threads);
+        new_session_id = session->id;
       }
+      log.info("session_accepted").field("session", new_session_id);
       // Reap sessions that disconnected since the last accept, so a
       // long-running daemon's thread handles and Session records don't
       // grow with its connection count.
@@ -122,6 +308,15 @@ struct Server::Impl {
       handle_line(s, line);
       if (stopping_after_response) break;
     }
+    if (log.enabled(obs::LogLevel::kDebug)) {
+      std::lock_guard<std::mutex> lock(s->stats_mu);
+      log.debug("session_closed")
+          .field("session", s->id)
+          .field("client", s->name)
+          .field("jobs_ok", s->jobs_ok)
+          .field("jobs_failed", s->jobs_failed)
+          .field("cache_hits", s->cache_hits);
+    }
     // Drop this session's record (in-flight callbacks keep the Session
     // alive via their own shared_ptr) and park the thread handle for the
     // accept loop to join — a thread cannot join itself.  During shutdown
@@ -135,13 +330,53 @@ struct Server::Impl {
     }
   }
 
+  // Writes an ok response inside the trace's respond span.
+  void respond_ok(const std::shared_ptr<Session>& s,
+                  const std::shared_ptr<obs::RequestTrace>& tr,
+                  std::int64_t id, std::string_view source,
+                  std::string_view payload) {
+    const int span = tr != nullptr ? tr->open("respond") : -1;
+    s->write_response(ok_response(id, source, payload));
+    if (tr != nullptr) tr->close(span);
+  }
+
+  // Error-response path shared by every failed request: unwinds the trace
+  // (closing whatever phase the failure interrupted), responds, finishes.
+  void respond_error(const std::shared_ptr<Session>& s,
+                     const std::shared_ptr<obs::RequestTrace>& tr,
+                     std::int64_t id, Status st, std::string_view msg) {
+    note_session_error(s, st);
+    if (tr != nullptr) tr->close_all(std::string(status_token(st)));
+    const int span = tr != nullptr ? tr->open("respond") : -1;
+    try {
+      s->write_response(error_response(id, st, msg));
+    } catch (const Error&) {
+    }
+    if (tr != nullptr) tr->close(span);
+    if (log.enabled(obs::LogLevel::kDebug)) {
+      log.debug("request_error")
+          .field("session", s->id)
+          .field("id", id)
+          .field("status", status_token(st))
+          .field("error", msg);
+    }
+    finish_trace(tr, status_token(st), "");
+  }
+
   void handle_line(const std::shared_ptr<Session>& s, const std::string& line) {
+    if (m != nullptr) m->requests->inc();
+    const std::shared_ptr<obs::RequestTrace> tr = make_trace(s->id);
     std::int64_t id = 0;
     try {
+      const int parse_span = tr != nullptr ? tr->open("parse") : -1;
       const JsonValue doc = JsonValue::parse(line);
       if (doc.is_object()) id = doc.get_int("id", 0);
       const JobRequest req = parse_request(doc);
       id = req.id;
+      if (tr != nullptr) {
+        tr->set_identity(std::string(op_name(req.op)), id);
+        tr->close(parse_span);
+      }
       switch (req.op) {
         case Op::kPing: {
           JsonWriter w;
@@ -149,7 +384,8 @@ struct Server::Impl {
           w.kv("pong", true);
           w.kv("protocol_version", kProtocolVersion);
           w.end_object();
-          s->write_response(ok_response(id, "", w.str()));
+          respond_ok(s, tr, id, "", w.str());
+          finish_trace(tr, "ok", "");
           return;
         }
         case Op::kHello: {
@@ -163,18 +399,44 @@ struct Server::Impl {
           w.kv("protocol_version", kProtocolVersion);
           w.kv("model_version", kModelVersion);
           w.end_object();
-          s->write_response(ok_response(id, "", w.str()));
+          respond_ok(s, tr, id, "", w.str());
+          finish_trace(tr, "ok", "");
           return;
         }
         case Op::kStats:
-          s->write_response(ok_response(id, "", stats_payload(s)));
+          respond_ok(s, tr, id, "", stats_payload(s));
+          finish_trace(tr, "ok", "");
           return;
+        case Op::kMetrics: {
+          if (m == nullptr) {
+            throw StatusError(Status::kNotPermitted,
+                              "metrics are disabled on this server");
+          }
+          // The snapshot is taken before this request's own response is
+          // counted, so a scraper's delta between two scrapes covers
+          // exactly the earlier scrape's response plus everything between.
+          respond_ok(s, tr, id, "", obs::metrics_json(registry.snapshot()));
+          finish_trace(tr, "ok", "");
+          return;
+        }
+        case Op::kTraces: {
+          if (trace_ring.capacity() == 0) {
+            throw StatusError(Status::kNotPermitted,
+                              "request tracing is disabled on this server");
+          }
+          respond_ok(s, tr, id, "",
+                     obs::traces_json(trace_ring.snapshot()));
+          finish_trace(tr, "ok", "");
+          return;
+        }
         case Op::kShutdown: {
           JsonWriter w;
           w.begin_object();
           w.kv("stopping", true);
           w.end_object();
-          s->write_response(ok_response(id, "", w.str()));
+          respond_ok(s, tr, id, "", w.str());
+          finish_trace(tr, "ok", "");
+          log.info("shutdown_requested").field("session", s->id);
           stopping_after_response = true;
           request_shutdown();
           return;
@@ -182,25 +444,18 @@ struct Server::Impl {
         case Op::kLaunch:
         case Op::kAutotune:
         case Op::kProfile:
-          dispatch_job(s, req);
+          dispatch_job(s, req, tr);
           return;
       }
     } catch (const StatusError& e) {
-      note_session_error(s, e.status());
-      try {
-        s->write_response(error_response(id, e.status(), e.what()));
-      } catch (const Error&) {
-      }
+      respond_error(s, tr, id, e.status(), e.what());
     } catch (const Error& e) {
-      note_session_error(s, Status::kInvalidValue);
-      try {
-        s->write_response(error_response(id, Status::kInvalidValue, e.what()));
-      } catch (const Error&) {
-      }
+      respond_error(s, tr, id, Status::kInvalidValue, e.what());
     }
   }
 
-  void dispatch_job(const std::shared_ptr<Session>& s, const JobRequest& req) {
+  void dispatch_job(const std::shared_ptr<Session>& s, const JobRequest& req,
+                    const std::shared_ptr<obs::RequestTrace>& tr) {
     // Pure validation + key derivation before any device is involved.
     const DeviceSpec spec = spec_for_class(req.device_class);
     const LaunchConfig resolved = resolve_config(req);
@@ -212,64 +467,129 @@ struct Server::Impl {
     const bool cacheable = !req.no_cache && !req.fault.enabled();
     if (cacheable) {
       std::string payload;
+      const int lookup_span = tr != nullptr ? tr->open("cache_lookup") : -1;
       const ResultCache::Tier tier = cache.lookup(key, payload);
+      const bool mem = tier == ResultCache::Tier::kMemory;
+      if (tr != nullptr) {
+        tr->close(lookup_span, tier == ResultCache::Tier::kMiss
+                                   ? "miss"
+                                   : (mem ? "mem" : "disk"));
+      }
+      if (m != nullptr) {
+        if (tier == ResultCache::Tier::kMiss) {
+          m->cache_misses->inc();
+        } else {
+          (mem ? m->cache_mem_hits : m->cache_disk_hits)->inc();
+        }
+      }
       if (tier != ResultCache::Tier::kMiss) {
         {
           std::lock_guard<std::mutex> lock(s->stats_mu);
           ++s->cache_hits;
           ++s->jobs_ok;
         }
-        s->write_response(ok_response(
-            req.id,
-            tier == ResultCache::Tier::kMemory ? "cache_mem" : "cache_disk",
-            payload));
+        const std::string_view source = mem ? "cache_mem" : "cache_disk";
+        respond_ok(s, tr, req.id, source, payload);
+        finish_trace(tr, "ok", source);
         return;
       }
     }
 
     // Per-session admission: reject, don't queue, past the in-flight cap.
     // (fetch_add + re-check keeps concurrent pipelined requests honest.)
+    const int admission_span = tr != nullptr ? tr->open("admission") : -1;
     if (s->in_flight.fetch_add(1) >= cfg.max_inflight_per_session) {
       s->in_flight.fetch_sub(1);
+      if (tr != nullptr) tr->close(admission_span, "rejected");
       throw StatusError(Status::kNotReady,
                         cat("session has ", cfg.max_inflight_per_session,
                             " jobs in flight"));
     }
+    if (tr != nullptr) tr->close(admission_span);
+
+    // Observation hooks for the scheduler/worker half of the pipeline:
+    // queue_wait closes (and simulate opens) on the worker thread the
+    // moment the job binds to a slot; resil attempts and device resets land
+    // as trace events.  The completion callback's captures keep the trace
+    // and observer alive until the job is fully answered.
+    JobHooks hooks;
+    auto ctx = std::make_shared<JobTraceCtx>();
+    std::shared_ptr<TraceAttemptObserver> attempts;
+    if (tr != nullptr) {
+      ctx->queue_span = tr->open("queue_wait");
+      hooks.on_start = [tr, ctx] {
+        tr->close(ctx->queue_span);
+        ctx->sim_span = tr->open("simulate");
+      };
+      hooks.on_event = [this, tr](const std::string& name,
+                                  const std::string& note) {
+        tr->event(name, note);
+        if (m != nullptr && name == "device_reset") m->device_resets->inc();
+      };
+      attempts = std::make_shared<TraceAttemptObserver>(tr, m.get());
+      hooks.attempts = attempts.get();
+    }
     const std::int64_t id = req.id;
     try {
-      sched.submit(req, [this, s, id, key, cacheable](const JobOutcome& out) {
-        s->in_flight.fetch_sub(1);
-        {
-          std::lock_guard<std::mutex> lock(s->stats_mu);
-          if (out.status == Status::kSuccess) {
-            ++s->jobs_ok;
-          } else {
-            ++s->jobs_failed;
-            s->last_status = out.status;
-          }
-          if (out.h2d_bytes > 0) s->ledger.record_h2d(out.h2d_bytes);
-          if (out.d2h_bytes > 0) s->ledger.record_d2h(out.d2h_bytes);
-        }
-        if (out.status == Status::kSuccess && cacheable) {
-          // This callback runs on a scheduler worker with no handler above
-          // it — an escaping exception would std::terminate the daemon.
-          // store() swallows disk-tier failures itself; this guard covers
-          // anything else (e.g. allocation failure copying the payload).
-          try {
-            cache.store(key, out.payload);
-          } catch (...) {
-          }
-        }
-        try {
-          if (out.status == Status::kSuccess) {
-            s->write_response(ok_response(id, "sim", out.payload));
-          } else {
-            s->write_response(error_response(id, out.status, out.error));
-          }
-        } catch (const Error&) {
-          // Session hung up before its job finished; nothing to tell it.
-        }
-      });
+      sched.submit(
+          req,
+          [this, s, id, key, cacheable, tr, ctx,
+           attempts](const JobOutcome& out) {
+            s->in_flight.fetch_sub(1);
+            {
+              std::lock_guard<std::mutex> lock(s->stats_mu);
+              if (out.status == Status::kSuccess) {
+                ++s->jobs_ok;
+              } else {
+                ++s->jobs_failed;
+                s->last_status = out.status;
+              }
+              if (out.h2d_bytes > 0) s->ledger.record_h2d(out.h2d_bytes);
+              if (out.d2h_bytes > 0) s->ledger.record_d2h(out.d2h_bytes);
+            }
+            if (m != nullptr) {
+              (out.status == Status::kSuccess ? m->jobs_ok : m->jobs_failed)
+                  ->inc();
+            }
+            if (tr != nullptr && ctx->sim_span >= 0) {
+              tr->close(ctx->sim_span,
+                        std::string(status_token(out.status)));
+            }
+            if (out.status == Status::kSuccess && cacheable) {
+              // This callback runs on a scheduler worker with no handler
+              // above it — an escaping exception would std::terminate the
+              // daemon.  store() swallows disk-tier failures itself; this
+              // guard covers anything else (e.g. allocation failure copying
+              // the payload).
+              const int store_span =
+                  tr != nullptr ? tr->open("cache_store") : -1;
+              try {
+                cache.store(key, out.payload);
+              } catch (...) {
+              }
+              if (tr != nullptr) tr->close(store_span);
+            }
+            const int respond_span = tr != nullptr ? tr->open("respond") : -1;
+            try {
+              if (out.status == Status::kSuccess) {
+                s->write_response(ok_response(id, "sim", out.payload));
+              } else {
+                s->write_response(error_response(id, out.status, out.error));
+              }
+            } catch (const Error&) {
+              // Session hung up before its job finished; nothing to tell it.
+            }
+            if (tr != nullptr) {
+              tr->close(respond_span);
+              // Jobs orphaned by Scheduler::stop never ran: their
+              // queue_wait span is still open.  Close everything so the
+              // record is well-formed either way.
+              tr->close_all("");
+            }
+            finish_trace(tr, status_token(out.status),
+                         out.status == Status::kSuccess ? "sim" : "");
+          },
+          std::move(hooks));
     } catch (...) {
       s->in_flight.fetch_sub(1);
       throw;
@@ -291,6 +611,21 @@ struct Server::Impl {
     w.kv("jobs_failed", ss.jobs_failed);
     w.kv("device_resets", ss.device_resets);
     w.kv("rejected_not_ready", ss.rejected_not_ready);
+    w.kv("h2d_bytes", ss.h2d_bytes);
+    w.kv("d2h_bytes", ss.d2h_bytes);
+    w.kv("modeled_seconds", ss.modeled_seconds);
+    // Per-class queue state — the aggregate queue_depth above can hide one
+    // saturated class behind two idle ones.
+    w.key("queues");
+    w.begin_object();
+    for (const ClassQueueStats& c : ss.classes) {
+      w.key(c.device_class);
+      w.begin_object();
+      w.kv("queued", static_cast<std::uint64_t>(c.queue_depth));
+      w.kv("slots", c.slots);
+      w.end_object();
+    }
+    w.end_object();
     w.key("cache");
     w.begin_object();
     w.kv("mem_hits", cc.mem_hits);
@@ -336,6 +671,16 @@ struct Server::Impl {
   ServerConfig cfg;
   ResultCache cache;
   Scheduler sched;
+
+  // g80obs state.  The registry always exists (it is one mutex and an empty
+  // vector when unused); `m` being null is the metrics-off fast path.
+  obs::MetricsRegistry registry;
+  std::unique_ptr<ServeMetrics> m;
+  obs::LatencyHistogram* total_hist = nullptr;
+  std::unordered_map<std::string, obs::LatencyHistogram*> phase_hists;
+  obs::TraceRing trace_ring;
+  obs::Logger log;
+  const double obs_epoch;  // steady-clock origin of ring-record timestamps
 
   int listen_fd = -1;
   std::thread accept_thread;
@@ -419,6 +764,17 @@ const ServerConfig& Server::config() const { return impl_->cfg; }
 CacheCounters Server::cache_counters() const { return impl_->cache.counters(); }
 
 SchedulerStats Server::scheduler_stats() const { return impl_->sched.stats(); }
+
+obs::MetricsSnapshot Server::metrics_snapshot() const {
+  if (impl_->m == nullptr) return {};
+  return impl_->registry.snapshot();
+}
+
+std::vector<obs::TraceRecord> Server::traces() const {
+  return impl_->trace_ring.snapshot();
+}
+
+obs::Logger& Server::logger() { return impl_->log; }
 
 std::uint64_t Server::sessions_accepted() const {
   return impl_->accepted.load();

@@ -30,11 +30,37 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/cache.h"
 #include "serve/scheduler.h"
 
 namespace g80::serve {
+
+// g80obs wiring of one daemon.  Defaults arm everything: metrics and
+// tracing are designed to be cheap enough to leave on (bench/obs_overhead
+// gates the disabled path at ≤2% and the enabled-idle path in the same
+// breath), but each piece can be switched off independently — a server with
+// metrics=false and trace_ring=0 runs the exact pre-obs code path, one
+// null-pointer test per request.
+struct ObsConfig {
+  // Maintain the metrics registry (counters/gauges/histograms; `metrics`
+  // protocol op).  Off = the op answers not_permitted.
+  bool metrics = true;
+  // Capacity of the finished-request trace ring (`traces` op); 0 disables
+  // request tracing entirely.
+  std::size_t trace_ring = 256;
+  // Requests slower than this (total wall seconds) emit a warn-level
+  // "slow_request" log event with per-phase timings; <= 0 disables.
+  double slow_request_s = 1.0;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  bool log_json = false;
+  // Test hook: replaces the stderr sink (one formatted line per call).
+  obs::Logger::Sink log_sink;
+};
 
 struct ServerConfig {
   std::string socket_path;
@@ -44,6 +70,7 @@ struct ServerConfig {
   // Per-session admission bound on queued + running jobs.
   int max_inflight_per_session = 8;
   PoolConfig pool;
+  ObsConfig obs;
 };
 
 class Server {
@@ -74,6 +101,12 @@ class Server {
   // Introspection for tests and the stats op.
   CacheCounters cache_counters() const;
   SchedulerStats scheduler_stats() const;
+  // g80obs views: the live metrics snapshot (empty when metrics are off),
+  // the finished-trace ring (empty when trace_ring == 0), and the daemon's
+  // structured logger (always present; level kOff silences it).
+  obs::MetricsSnapshot metrics_snapshot() const;
+  std::vector<obs::TraceRecord> traces() const;
+  obs::Logger& logger();
   std::uint64_t sessions_accepted() const;
   // Currently-connected sessions; disconnected ones are reaped, so this
   // does not grow with sessions_accepted on a long-running daemon.

@@ -1,0 +1,338 @@
+// g80obs metrics registry: concurrent counter exactness (the TSan suite runs
+// this), LogBuckets quantile goldens, cumulative-scrape semantics, callback
+// gauges, the Prometheus exporter, the structured logger, and the rt ledger
+// gauges.  Everything here is deterministic — quantiles are pinned to exact
+// values, not ranges, because LogBuckets::quantile is documented as such.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/stats.h"
+#include "cudalite/device.h"
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "rt/runtime.h"
+
+namespace g80::obs {
+namespace {
+
+// ---- counters and gauges --------------------------------------------------
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, IncByNSumsAcrossShards) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c, t] { c.inc(static_cast<std::uint64_t>(t) + 1); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), 1u + 2u + 3u + 4u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+// ---- LogBuckets layout and quantile goldens -------------------------------
+
+TEST(ObsLogBuckets, IndexAndBounds) {
+  // Buckets: (0,1], (1,2], (2,4], (4,+inf).
+  const LogBuckets b(1.0, 2.0, 4);
+  EXPECT_EQ(b.buckets(), 4u);
+  EXPECT_EQ(b.index_for(-1.0), 0u);
+  EXPECT_EQ(b.index_for(0.5), 0u);
+  EXPECT_EQ(b.index_for(1.0), 0u);  // bound belongs to the lower bucket
+  EXPECT_EQ(b.index_for(1.5), 1u);
+  EXPECT_EQ(b.index_for(2.0), 1u);
+  EXPECT_EQ(b.index_for(3.0), 2u);
+  EXPECT_EQ(b.index_for(4.0), 2u);
+  EXPECT_EQ(b.index_for(5.0), 3u);
+  EXPECT_EQ(b.index_for(1e12), 3u);  // clamps to the open-ended last bucket
+  EXPECT_DOUBLE_EQ(b.upper_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.upper_bound(1), 2.0);
+  EXPECT_DOUBLE_EQ(b.upper_bound(2), 4.0);
+  EXPECT_TRUE(std::isinf(b.upper_bound(3)));
+  EXPECT_DOUBLE_EQ(b.lower_bound(0), 0.0);
+  EXPECT_DOUBLE_EQ(b.lower_bound(3), 4.0);
+}
+
+TEST(ObsLogBuckets, IndexForIsStableAtEveryBound) {
+  const LogBuckets b(1e-6, 2.0, 28);
+  for (std::size_t i = 0; i + 1 < b.buckets(); ++i) {
+    EXPECT_EQ(b.index_for(b.upper_bound(i)), i) << "bucket " << i;
+  }
+}
+
+TEST(ObsLogBuckets, QuantileGoldens) {
+  const LogBuckets b(1.0, 2.0, 4);
+  const std::uint64_t counts[4] = {10, 10, 0, 0};
+  // rank = ceil(q * 20), linear interpolation inside the selected bucket.
+  EXPECT_DOUBLE_EQ(b.quantile(counts, 4, 0.0), 0.1);   // rank 1 of bucket 0
+  EXPECT_DOUBLE_EQ(b.quantile(counts, 4, 0.5), 1.0);   // rank 10: top of b0
+  EXPECT_DOUBLE_EQ(b.quantile(counts, 4, 0.75), 1.5);  // rank 15: mid of b1
+  EXPECT_DOUBLE_EQ(b.quantile(counts, 4, 1.0), 2.0);   // rank 20: top of b1
+
+  const std::uint64_t empty[4] = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(b.quantile(empty, 4, 0.5), 0.0);
+
+  // The open-ended last bucket has no finite upper bound: the quantile
+  // reports its lower bound rather than inventing one.
+  const std::uint64_t tail[4] = {0, 0, 0, 5};
+  EXPECT_DOUBLE_EQ(b.quantile(tail, 4, 0.99), 4.0);
+}
+
+TEST(ObsLatencyHistogram, CountSumAndQuantiles) {
+  LatencyHistogram h(LogBuckets(1.0, 2.0, 4));
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  for (int i = 0; i < 10; ++i) h.observe(1.5);
+  EXPECT_EQ(h.count(), 20u);
+  // Nanounit integer accumulation keeps the sum exact.
+  EXPECT_DOUBLE_EQ(h.sum(), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 1.8);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 10u);
+  EXPECT_EQ(counts[1], 10u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsLatencyHistogram, ConcurrentObservationsAreExact) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1e-3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto counts = h.bucket_counts();
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(total, h.count());
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * kPerThread * 1e-3);
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(ObsRegistry, HandlesAreIdempotentByName) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("reqs");
+  Counter* b = reg.counter("reqs");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.gauge("depth"), reg.gauge("depth"));
+  EXPECT_EQ(reg.histogram("lat"), reg.histogram("lat"));
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), Error);
+  EXPECT_THROW(reg.histogram("x"), Error);
+  reg.gauge_callback("cb", [] { return 7; });
+  EXPECT_THROW(reg.counter("cb"), Error);
+}
+
+TEST(ObsRegistry, SnapshotIsCumulativeAcrossScrapes) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("reqs");
+  c->inc(3);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("reqs"), 3.0);
+  // A scrape must not reset: the next one sees the running total.
+  c->inc(2);
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("reqs"), 5.0);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("reqs"), 0.0);
+}
+
+TEST(ObsRegistry, CallbackGaugesSampleAtScrapeTime) {
+  MetricsRegistry reg;
+  std::int64_t depth = 0;
+  reg.gauge_callback("queue.depth", [&depth] { return depth; });
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("queue.depth"), 0.0);
+  depth = 17;
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("queue.depth"), 17.0);
+  // Set gauges keep their last value across reset (instantaneous, not
+  // cumulative); callback gauges just re-sample.
+  reg.gauge("manual")->set(5);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.snapshot().value("manual"), 5.0);
+}
+
+TEST(ObsRegistry, HistogramSampleCarriesQuantilesAndBuckets) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.histogram("lat", LogBuckets(1.0, 2.0, 4));
+  for (int i = 0; i < 10; ++i) h->observe(0.5);
+  for (int i = 0; i < 10; ++i) h->observe(1.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* s = snap.find("lat");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::kHistogram);
+  EXPECT_EQ(s->count, 20u);
+  EXPECT_DOUBLE_EQ(s->sum, 20.0);
+  EXPECT_DOUBLE_EQ(s->p50, 1.0);
+  EXPECT_DOUBLE_EQ(s->p90, 1.8);
+  ASSERT_EQ(s->buckets.size(), 4u);
+  // Cumulative Prometheus-style bucket counts.
+  EXPECT_EQ(s->buckets[0].second, 10u);
+  EXPECT_EQ(s->buckets[1].second, 20u);
+  EXPECT_EQ(s->buckets[3].second, 20u);
+  EXPECT_TRUE(std::isinf(s->buckets[3].first));
+  EXPECT_EQ(snap.find("absent"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.value("absent"), 0.0);
+}
+
+// ---- exporters ------------------------------------------------------------
+
+TEST(ObsExport, MetricsJsonRoundTripsThroughPrometheusText) {
+  MetricsRegistry reg;
+  reg.counter("serve.requests_total")->inc(3);
+  reg.gauge("serve.queue.depth")->set(4);
+  LatencyHistogram* h =
+      reg.histogram("serve.latency.total", LogBuckets(1.0, 2.0, 4));
+  h->observe(0.5);
+  h->observe(1.5);
+
+  // The exporter consumes the *payload*, not the live registry — exactly
+  // what g80servectl does with the `metrics` op's result.
+  const JsonValue payload = JsonValue::parse(metrics_json(reg.snapshot()));
+  const std::string text = prometheus_text(payload);
+
+  EXPECT_NE(text.find("# TYPE g80_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("g80_serve_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g80_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("g80_serve_queue_depth 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g80_serve_latency_total histogram"),
+            std::string::npos);
+  // JsonWriter renders the infinite last bound as null; the exporter must
+  // map it back to Prometheus's "+Inf".
+  EXPECT_NE(text.find("g80_serve_latency_total_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("g80_serve_latency_total_count 2"), std::string::npos);
+  EXPECT_NE(text.find("g80_serve_latency_total_sum 2"), std::string::npos);
+}
+
+// ---- structured logger ----------------------------------------------------
+
+TEST(ObsLogger, JsonLinesParseWithOrderedFields) {
+  std::vector<std::string> lines;
+  Logger log(LogLevel::kDebug, /*json=*/true);
+  log.set_sink([&lines](std::string_view l) { lines.emplace_back(l); });
+
+  log.info("job_done")
+      .field("session", std::uint64_t{3})
+      .field("status", "ok")
+      .field("total_s", 0.25)
+      .field("recovered", true);
+
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue doc = JsonValue::parse(lines[0]);
+  EXPECT_GT(doc.require("ts").as_number(), 0.0);
+  EXPECT_EQ(doc.require("level").as_string(), "info");
+  EXPECT_EQ(doc.require("event").as_string(), "job_done");
+  EXPECT_EQ(doc.require("session").as_int(), 3);
+  EXPECT_EQ(doc.require("status").as_string(), "ok");
+  EXPECT_DOUBLE_EQ(doc.require("total_s").as_number(), 0.25);
+  EXPECT_TRUE(doc.require("recovered").as_bool());
+}
+
+TEST(ObsLogger, TextModeAndLevelFiltering) {
+  std::vector<std::string> lines;
+  Logger log(LogLevel::kWarn, /*json=*/false);
+  log.set_sink([&lines](std::string_view l) { lines.emplace_back(l); });
+
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+  log.debug("dropped").field("k", 1);  // below min level: no sink call
+  log.info("dropped_too");
+  log.warn("slow_request").field("total_s", 1.5).field("op", "launch");
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("warn"), std::string::npos);
+  EXPECT_NE(lines[0].find("slow_request"), std::string::npos);
+  EXPECT_NE(lines[0].find("op=launch"), std::string::npos);
+
+  log.set_level(LogLevel::kOff);
+  log.error("silenced");
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(ObsLogger, LevelNamesRoundTrip) {
+  EXPECT_EQ(log_level_from_name("debug"), LogLevel::kDebug);
+  EXPECT_EQ(log_level_from_name("warn"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_from_name("off"), LogLevel::kOff);
+  EXPECT_EQ(log_level_name(LogLevel::kError), "error");
+  EXPECT_THROW(log_level_from_name("verbose"), Error);
+}
+
+// ---- rt ledger gauges -----------------------------------------------------
+
+TEST(ObsRtBindMetrics, LedgerGaugesTrackTransfers) {
+  Device dev;
+  rt::Runtime r(dev);
+  MetricsRegistry reg;
+  r.bind_metrics(reg);
+
+  const int n = 256;
+  auto in = dev.alloc<float>(n);
+  std::vector<float> host(n, 1.0f);
+  auto s = r.stream_create();
+  r.memcpy_h2d_async(s, in, host);
+  std::vector<float> back;
+  r.memcpy_d2h_async(s, back, in);
+  r.stream_synchronize(s);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const double bytes = n * sizeof(float);
+  EXPECT_DOUBLE_EQ(snap.value("rt.ledger.h2d_bytes"), bytes);
+  EXPECT_DOUBLE_EQ(snap.value("rt.ledger.d2h_bytes"), bytes);
+  EXPECT_DOUBLE_EQ(snap.value("rt.ledger.total_bytes"), 2 * bytes);
+  EXPECT_DOUBLE_EQ(snap.value("rt.ledger.transfer_count"), 2.0);
+}
+
+TEST(ObsRtBindMetrics, PrefixNamespacesMultipleRuntimes) {
+  Device dev;
+  rt::Runtime r(dev);
+  MetricsRegistry reg;
+  r.bind_metrics(reg, "dev0");
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_NE(snap.find("dev0.ledger.h2d_bytes"), nullptr);
+  EXPECT_EQ(snap.find("rt.ledger.h2d_bytes"), nullptr);
+}
+
+}  // namespace
+}  // namespace g80::obs
